@@ -1,0 +1,143 @@
+// Shared scaffolding for the experiment harnesses: paper-shaped (but
+// laptop-scale) dataset and model builders, plus result rendering. Every
+// harness accepts --users/--rounds/... flags so the experiments can be
+// re-run at paper scale; the defaults complete unattended on one core.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/simulation.hpp"
+#include "data/femnist_synth.hpp"
+#include "data/shakespeare_synth.hpp"
+#include "fedavg/fedavg.hpp"
+#include "nn/model_zoo.hpp"
+#include "support/cli.hpp"
+#include "support/log.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+namespace tanglefl::bench {
+
+/// Default FEMNIST-like scale: the paper's 3500 writers / 62 classes /
+/// 28x28 images shrink to 60 / 10 / 12 so a full convergence sweep runs in
+/// seconds. Structure (non-IID by writer, unbalanced, 0.8 split) is kept.
+struct FemnistScale {
+  std::size_t users = 60;
+  std::size_t classes = 10;
+  std::size_t image_size = 12;
+  double mean_samples = 25.0;
+  std::uint64_t seed = 42;
+};
+
+inline data::FederatedDataset make_femnist(const FemnistScale& scale) {
+  data::FemnistSynthConfig config;
+  config.num_users = scale.users;
+  config.num_classes = scale.classes;
+  config.image_size = scale.image_size;
+  config.mean_samples_per_user = scale.mean_samples;
+  config.train_fraction = 0.8;  // Table I
+  config.seed = scale.seed;
+  return data::make_femnist_synth(config);
+}
+
+inline nn::ModelFactory femnist_factory(const FemnistScale& scale) {
+  nn::ImageCnnConfig config;
+  config.image_size = scale.image_size;
+  config.num_classes = scale.classes;
+  return [config] { return nn::make_image_cnn(config); };
+}
+
+/// Default Shakespeare-like scale: 1058 roles / 80-char vocab / 80-char
+/// windows shrink to 20 / 24 / 12; min 64 samples per role and the 0.9
+/// split are kept from Table I.
+struct ShakespeareScale {
+  std::size_t users = 20;
+  std::size_t vocab = 24;
+  std::size_t seq_length = 12;
+  double mean_chars = 400.0;
+  std::uint64_t seed = 42;
+};
+
+inline data::FederatedDataset make_shakespeare(const ShakespeareScale& scale) {
+  data::ShakespeareSynthConfig config;
+  config.num_users = scale.users;
+  config.vocab_size = scale.vocab;
+  config.seq_length = scale.seq_length;
+  config.mean_chars_per_user = scale.mean_chars;
+  config.train_fraction = 0.9;  // Table I
+  config.min_samples_per_user = 64;
+  config.seed = scale.seed;
+  return data::make_shakespeare_synth(config);
+}
+
+inline nn::ModelFactory shakespeare_factory(const ShakespeareScale& scale) {
+  nn::CharLstmConfig config;
+  config.vocab_size = scale.vocab;
+  config.seq_length = scale.seq_length;
+  config.embedding_dim = 12;
+  config.hidden_dim = 32;
+  config.lstm_layers = 2;  // "stacked LSTM", Table I
+  return [config] { return nn::make_char_lstm(config); };
+}
+
+/// Training configuration mirroring Table I (lr scaled to our model sizes;
+/// 1 local epoch as in the paper).
+inline data::TrainConfig femnist_training() {
+  data::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 10;
+  config.sgd.learning_rate = 0.06;  // Table I
+  return config;
+}
+
+inline data::TrainConfig shakespeare_training() {
+  data::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 10;
+  config.sgd.learning_rate = 0.8;  // Table I
+  config.sgd.grad_clip = 5.0;
+  return config;
+}
+
+/// Prints aligned accuracy-vs-round series (one column per run), the text
+/// equivalent of the paper's figures.
+inline void print_series(std::ostream& out,
+                         const std::vector<core::RunResult>& runs) {
+  std::vector<std::string> header = {"round"};
+  for (const auto& run : runs) header.push_back(run.label);
+  TablePrinter table(std::move(header));
+  if (runs.empty()) return;
+  for (std::size_t i = 0; i < runs.front().history.size(); ++i) {
+    std::vector<std::string> row = {
+        std::to_string(runs.front().history[i].round)};
+    for (const auto& run : runs) {
+      row.push_back(i < run.history.size()
+                        ? format_fixed(run.history[i].accuracy, 3)
+                        : "");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+}
+
+/// Writes the same series as CSV for external plotting. Columns:
+/// label,round,accuracy,loss,target_misclassification.
+inline void write_series_csv(const std::string& path,
+                             const std::vector<core::RunResult>& runs) {
+  CsvWriter csv(path, {"label", "round", "accuracy", "loss",
+                       "target_misclassification"});
+  for (const auto& run : runs) {
+    for (const auto& record : run.history) {
+      csv.add_row({run.label, std::to_string(record.round),
+                   format_fixed(record.accuracy, 5),
+                   format_fixed(record.loss, 5),
+                   format_fixed(record.target_misclassification, 5)});
+    }
+  }
+  std::cout << "\n(series written to " << path << ")\n";
+}
+
+}  // namespace tanglefl::bench

@@ -1,0 +1,106 @@
+// Micro-benchmarks for the NN substrate: the inner loops every simulated
+// training round spends its time in.
+#include <benchmark/benchmark.h>
+
+#include "nn/loss.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/ops.hpp"
+#include "nn/params.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace tanglefl;
+
+nn::Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  nn::Tensor t(std::move(shape));
+  Rng rng(seed);
+  for (auto& v : t.values()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const nn::Tensor a = random_tensor({n, n}, 1);
+  const nn::Tensor b = random_tensor({n, n}, 2);
+  nn::Tensor c({n, n});
+  for (auto _ : state) {
+    nn::ops::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2DForward(benchmark::State& state) {
+  const auto image = static_cast<std::size_t>(state.range(0));
+  const nn::Tensor x = random_tensor({8, 1, image, image}, 1);
+  const nn::Tensor w = random_tensor({8, 1, 3, 3}, 2);
+  const nn::Tensor bias = random_tensor({8}, 3);
+  const nn::ops::Conv2DShape shape{1, 8, 3, 1, 1};
+  nn::Tensor y({8, 8, image, image});
+  for (auto _ : state) {
+    nn::ops::conv2d_forward(x, w, bias, shape, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2DForward)->Arg(12)->Arg(28);
+
+void BM_CnnTrainStep(benchmark::State& state) {
+  nn::ImageCnnConfig config;
+  config.image_size = 12;
+  config.num_classes = 10;
+  nn::Model model = nn::make_image_cnn(config);
+  Rng rng(1);
+  model.init(rng);
+  const nn::Tensor x = random_tensor({10, 1, 12, 12}, 2);
+  const std::vector<std::int32_t> labels = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (auto _ : state) {
+    model.zero_gradients();
+    const nn::Tensor logits = model.forward(x, true);
+    const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+    model.backward(loss.grad);
+    benchmark::DoNotOptimize(loss.loss);
+  }
+}
+BENCHMARK(BM_CnnTrainStep);
+
+void BM_LstmTrainStep(benchmark::State& state) {
+  nn::CharLstmConfig config;
+  config.vocab_size = 24;
+  config.seq_length = 12;
+  config.embedding_dim = 12;
+  config.hidden_dim = 32;
+  nn::Model model = nn::make_char_lstm(config);
+  Rng rng(1);
+  model.init(rng);
+  nn::Tensor x({10, 12});
+  for (auto& v : x.values()) v = static_cast<float>(rng.uniform_index(24));
+  std::vector<std::int32_t> labels(10);
+  for (auto& l : labels) l = static_cast<std::int32_t>(rng.uniform_index(24));
+  for (auto _ : state) {
+    model.zero_gradients();
+    const nn::Tensor logits = model.forward(x, true);
+    const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+    model.backward(loss.grad);
+    benchmark::DoNotOptimize(loss.loss);
+  }
+}
+BENCHMARK(BM_LstmTrainStep);
+
+void BM_ParamAverage(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<nn::ParamVector> params(4, nn::ParamVector(n, 1.0f));
+  for (auto _ : state) {
+    auto avg = nn::average_params(params);
+    benchmark::DoNotOptimize(avg.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * n * sizeof(float)));
+}
+BENCHMARK(BM_ParamAverage)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Micro-benchmarks for the ledger substrate: tip selection walks, cone
+// computations, confidence sampling, SHA-256 hashing, and proof-of-work.
+#include <benchmark/benchmark.h>
+
+#include "support/sha256.hpp"
+#include "tangle/confidence.hpp"
+#include "tangle/model_store.hpp"
+#include "tangle/pow.hpp"
+#include "tangle/tip_selection.hpp"
+
+namespace {
+
+using namespace tanglefl;
+using namespace tanglefl::tangle;
+
+/// Builds a tangle of `n` transactions grown with 2-parent random-walk
+/// attachment, the structure the simulation produces.
+struct GrownTangle {
+  ModelStore store;
+  Tangle tangle;
+
+  explicit GrownTangle(std::size_t n) : tangle(make_genesis(store)) {
+    Rng rng(1);
+    for (std::size_t i = 1; i < n; ++i) {
+      const TangleView view = tangle.view();
+      const auto tips = select_tips(view, 2, rng, {});
+      const auto added =
+          store.add({static_cast<float>(i), static_cast<float>(i % 7)});
+      tangle.add_transaction(tips, added.id, added.hash,
+                             /*round=*/1 + i / 8);
+    }
+  }
+
+  static Tangle make_genesis(ModelStore& store) {
+    const auto added = store.add({0.0f, 0.0f});
+    return Tangle(added.id, added.hash);
+  }
+};
+
+void BM_TangleGrowth(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    GrownTangle grown(n);
+    benchmark::DoNotOptimize(grown.tangle.size());
+  }
+}
+BENCHMARK(BM_TangleGrowth)->Arg(100)->Arg(400);
+
+void BM_FutureConeSizes(benchmark::State& state) {
+  GrownTangle grown(static_cast<std::size_t>(state.range(0)));
+  const TangleView view = grown.tangle.view();
+  for (auto _ : state) {
+    auto cones = view.future_cone_sizes();
+    benchmark::DoNotOptimize(cones.data());
+  }
+}
+BENCHMARK(BM_FutureConeSizes)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_PastConeSizes(benchmark::State& state) {
+  GrownTangle grown(static_cast<std::size_t>(state.range(0)));
+  const TangleView view = grown.tangle.view();
+  for (auto _ : state) {
+    auto cones = view.past_cone_sizes();
+    benchmark::DoNotOptimize(cones.data());
+  }
+}
+BENCHMARK(BM_PastConeSizes)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_RandomWalkTip(benchmark::State& state) {
+  GrownTangle grown(static_cast<std::size_t>(state.range(0)));
+  const TangleView view = grown.tangle.view();
+  const auto cones = view.future_cone_sizes();
+  Rng rng(2);
+  TipSelectionConfig config;
+  config.alpha = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_walk_tip(view, cones, rng, config));
+  }
+}
+BENCHMARK(BM_RandomWalkTip)->Arg(200)->Arg(1000);
+
+void BM_ConfidenceSampling(benchmark::State& state) {
+  GrownTangle grown(static_cast<std::size_t>(state.range(0)));
+  const TangleView view = grown.tangle.view();
+  Rng rng(3);
+  ConfidenceConfig config;
+  config.sample_rounds = 35;  // the paper's setting
+  for (auto _ : state) {
+    auto confidence = compute_confidences(view, rng, config);
+    benchmark::DoNotOptimize(confidence.data());
+  }
+}
+BENCHMARK(BM_ConfidenceSampling)->Arg(200)->Arg(1000);
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_PayloadHash(benchmark::State& state) {
+  // Hashing a CNN-sized parameter vector (content addressing cost per
+  // published transaction).
+  const nn::ParamVector params(static_cast<std::size_t>(state.range(0)), 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ModelStore::hash_params(params));
+  }
+}
+BENCHMARK(BM_PayloadHash)->Arg(10000)->Arg(100000);
+
+void BM_ProofOfWork(benchmark::State& state) {
+  const std::vector<TransactionId> parents = {Sha256::hash("p1"),
+                                              Sha256::hash("p2")};
+  const Sha256Digest payload = Sha256::hash("payload");
+  const int difficulty = static_cast<int>(state.range(0));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_pow(parents, payload, round++, difficulty));
+  }
+}
+BENCHMARK(BM_ProofOfWork)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

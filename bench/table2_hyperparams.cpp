@@ -1,0 +1,113 @@
+// Table II: effects of hyperparameters on the convergence speed of tangle
+// learning, measured on the FEMNIST-like dataset. For every combination of
+//   # tips (n)        in {2, 3}
+//   sample size       in {n, 2n, 5n}
+//   # reference models in {1, 2, 10, 50}
+// the harness reports the number of rounds needed to reach 70% of the
+// FedAvg reference model's accuracy. Expected shape (paper): 3 tips beat
+// 2; 10 reference models beat 1; sample size 5n hurts.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tanglefl;
+  ArgParser args(argc, argv);
+  const auto rounds = static_cast<std::size_t>(args.get_int(
+      "rounds", 60, "max rounds per configuration (paper: unbounded)"));
+  const auto users = static_cast<std::size_t>(
+      args.get_int("users", 60, "number of writers (paper: 3500)"));
+  const auto nodes = static_cast<std::size_t>(
+      args.get_int("nodes", 10, "active nodes per round (paper: 35)"));
+  const auto eval_every = static_cast<std::size_t>(
+      args.get_int("eval-every", 2, "evaluation cadence in rounds"));
+  const auto seed = static_cast<std::uint64_t>(
+      args.get_int("seed", 42, "master random seed"));
+  const auto threads = static_cast<std::size_t>(
+      args.get_int("threads", 1, "worker threads"));
+  const std::string csv =
+      args.get_string("csv", "table2_hyperparams.csv", "output CSV path");
+  if (args.should_exit()) return args.help_requested() ? 0 : 1;
+
+  set_log_level(LogLevel::kWarn);
+
+  bench::FemnistScale scale;
+  scale.users = users;
+  scale.seed = seed;
+  const data::FederatedDataset dataset = bench::make_femnist(scale);
+  const nn::ModelFactory factory = bench::femnist_factory(scale);
+
+  // The reference model: FedAvg trained to the same round budget; the
+  // target is 70% of its final accuracy.
+  fedavg::FedAvgConfig fedavg_config;
+  fedavg_config.rounds = rounds;
+  fedavg_config.clients_per_round = nodes;
+  fedavg_config.eval_every = eval_every;
+  fedavg_config.eval_nodes_fraction = 0.3;
+  fedavg_config.training = bench::femnist_training();
+  fedavg_config.seed = seed;
+  fedavg_config.threads = threads;
+  const core::RunResult reference =
+      fedavg::run_fedavg(dataset, factory, fedavg_config);
+  const double target = 0.7 * reference.final_accuracy();
+  std::cout << "Table II reproduction: rounds to reach 70% of the reference"
+               " model accuracy\nreference (FedAvg) accuracy = "
+            << format_fixed(reference.final_accuracy(), 3)
+            << ", target = " << format_fixed(target, 3) << "\n\n";
+
+  const std::size_t tip_options[] = {2, 3};
+  const std::size_t sample_multipliers[] = {1, 2, 5};
+  const std::size_t reference_options[] = {1, 2, 10, 50};
+
+  TablePrinter table({"# tips (n)", "sample size", "ref models = 1", "2",
+                      "10", "50"});
+  CsvWriter csv_out(csv, {"num_tips", "sample_size", "reference_models",
+                          "rounds_to_target", "final_accuracy"});
+  Stopwatch watch;
+
+  for (const std::size_t tips : tip_options) {
+    for (const std::size_t multiplier : sample_multipliers) {
+      std::vector<std::string> row = {
+          std::to_string(tips),
+          multiplier == 1 ? "n" : [&] {
+            std::string s = std::to_string(multiplier);
+            s += 'n';
+            return s;
+          }()};
+      for (const std::size_t references : reference_options) {
+        core::SimulationConfig config;
+        config.rounds = rounds;
+        config.nodes_per_round = nodes;
+        config.eval_every = eval_every;
+        config.eval_nodes_fraction = 0.3;
+        config.node.training = bench::femnist_training();
+        config.node.num_tips = tips;
+        config.node.tip_sample_size = tips * multiplier;
+        config.node.reference.num_reference_models = references;
+        config.seed = seed;
+        config.threads = threads;
+
+        const core::RunResult run =
+            core::run_tangle_learning(dataset, factory, config);
+        const std::int64_t reached = run.rounds_to_accuracy(target);
+        std::string cell;
+        if (reached < 0) cell += '>';
+        cell += std::to_string(reached < 0 ? static_cast<std::int64_t>(rounds)
+                                           : reached);
+        row.push_back(std::move(cell));
+        csv_out.add_row({std::to_string(tips),
+                         std::to_string(tips * multiplier),
+                         std::to_string(references),
+                         std::to_string(reached),
+                         format_fixed(run.final_accuracy(), 4)});
+      }
+      table.add_row(std::move(row));
+      std::cout << "... finished tips=" << tips << " sample="
+                << multiplier << "n (" << format_fixed(watch.seconds(), 0)
+                << "s elapsed)\n";
+    }
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\n(series written to " << csv << ")\n";
+  return 0;
+}

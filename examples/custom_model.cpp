@@ -1,0 +1,102 @@
+// Bringing your own model and data to the learning tangle.
+//
+// This example federates a synthetic "sensor calibration" task — two
+// Gaussian clusters per device with device-specific drift — through the
+// generic partitioning API, defines a custom MLP with the layer toolkit,
+// and trains it decentralized. It demonstrates the three extension points
+// a downstream user touches:
+//   1. build a DataSplit from your own feature/label arrays,
+//   2. shard it with partition_dirichlet()/federate(),
+//   3. provide a ModelFactory assembling any Layer stack.
+//
+// Build & run:  ./build/examples/custom_model
+#include <cmath>
+#include <iostream>
+
+#include "core/simulation.hpp"
+#include "data/partition.hpp"
+#include "nn/layer.hpp"
+#include "support/cli.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tanglefl;
+
+  ArgParser args(argc, argv);
+  const auto rounds = static_cast<std::size_t>(
+      args.get_int("rounds", 16, "training rounds to simulate"));
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 7, "master seed"));
+  if (args.should_exit()) return args.help_requested() ? 0 : 1;
+
+  set_log_level(LogLevel::kWarn);
+  Rng rng(seed);
+
+  // 1. Your own data: a pooled sample collection as one DataSplit. Here,
+  //    four interleaved Gaussian blobs over 3 features -> 4 classes.
+  const std::size_t samples = 1200;
+  data::DataSplit pool;
+  pool.features = nn::Tensor({samples, 3});
+  pool.labels.resize(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto label = static_cast<std::int32_t>(i % 4);
+    const double angle = 1.5707 * label;
+    pool.features.at(i, 0) =
+        static_cast<float>(2.0 * std::cos(angle) + rng.normal() * 0.6);
+    pool.features.at(i, 1) =
+        static_cast<float>(2.0 * std::sin(angle) + rng.normal() * 0.6);
+    pool.features.at(i, 2) = static_cast<float>(rng.normal());  // nuisance
+    pool.labels[i] = label;
+  }
+
+  // 2. Federate it: non-IID Dirichlet shards across 15 devices.
+  Rng partition_rng = rng.split(1);
+  auto shards = data::partition_dirichlet(pool, 15, 4, 0.4, partition_rng);
+  Rng federate_rng = rng.split(2);
+  const data::FederatedDataset dataset = data::federate(
+      "sensor-calibration", "MLP", 4, 0.8, std::move(shards), federate_rng);
+  const data::DatasetStats stats = dataset.stats();
+  std::cout << "dataset: " << stats.name << ", " << stats.num_users
+            << " devices, " << stats.total_samples << " samples\n";
+
+  // 3. Your own model: any stack of the provided layers.
+  const nn::ModelFactory factory = [] {
+    nn::Model model;
+    model.emplace<nn::Linear>(3, 16);
+    model.emplace<nn::ReLU>();
+    model.emplace<nn::Dropout>(0.1);
+    model.emplace<nn::Linear>(16, 8);
+    model.emplace<nn::ReLU>();
+    model.emplace<nn::Linear>(8, 4);
+    return model;
+  };
+  std::cout << "model:   " << factory().summary() << "\n\n";
+
+  core::SimulationConfig config;
+  config.rounds = rounds;
+  config.nodes_per_round = 5;
+  config.eval_every = 2;
+  config.eval_nodes_fraction = 0.4;
+  config.node.num_tips = 2;
+  config.node.tip_sample_size = 4;
+  config.node.reference.num_reference_models = 5;
+  config.node.training.epochs = 2;
+  config.node.training.sgd.learning_rate = 0.1;
+  config.seed = seed;
+
+  const core::RunResult run =
+      core::run_tangle_learning(dataset, factory, config, "tangle");
+
+  TablePrinter table({"round", "consensus accuracy", "ledger size", "tips"});
+  for (const auto& record : run.history) {
+    table.add_row({std::to_string(record.round),
+                   format_fixed(record.accuracy, 3),
+                   std::to_string(record.tangle_size),
+                   std::to_string(record.tip_count)});
+  }
+  table.print(std::cout);
+  std::cout << "\nfinal consensus accuracy: "
+            << format_fixed(run.final_accuracy(), 3) << " (random = 0.25)\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Poisoning-defence demo: runs the same random-weight poisoning attack
+// twice — once against nodes using the basic Algorithm 2 tip selection and
+// once against nodes using the Section III-E robust tip selection — and
+// shows how the defence keeps the consensus model intact.
+//
+// Build & run:  ./build/examples/poisoning_defense [--fraction 0.25]
+#include <iostream>
+
+#include "core/simulation.hpp"
+#include "data/femnist_synth.hpp"
+#include "nn/model_zoo.hpp"
+#include "support/cli.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tanglefl;
+
+  ArgParser args(argc, argv);
+  const double fraction = args.get_double(
+      "fraction", 0.2, "fraction of nodes that turn malicious");
+  const auto pretrain = static_cast<std::size_t>(
+      args.get_int("pretrain-rounds", 16, "benign rounds before the attack"));
+  const auto attack_rounds = static_cast<std::size_t>(
+      args.get_int("attack-rounds", 14, "attacked rounds to observe"));
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 42, "master seed"));
+  if (args.should_exit()) return args.help_requested() ? 0 : 1;
+
+  set_log_level(LogLevel::kWarn);
+
+  data::FemnistSynthConfig data_config;
+  data_config.num_users = 30;
+  data_config.num_classes = 5;
+  data_config.image_size = 12;
+  data_config.mean_samples_per_user = 25.0;
+  data_config.seed = seed;
+  const data::FederatedDataset dataset = data::make_femnist_synth(data_config);
+
+  nn::ImageCnnConfig model_config;
+  model_config.image_size = data_config.image_size;
+  model_config.num_classes = data_config.num_classes;
+  const nn::ModelFactory factory = [model_config] {
+    return nn::make_image_cnn(model_config);
+  };
+
+  std::cout << "Random-weight poisoning attack: " << fraction * 100
+            << "% of nodes turn malicious after round " << pretrain << "\n\n";
+
+  const auto run_variant = [&](bool robust) {
+    core::SimulationConfig config;
+    config.rounds = pretrain + attack_rounds;
+    config.nodes_per_round = 8;
+    config.eval_every = 2;
+    config.eval_nodes_fraction = 0.4;
+    config.node.training.sgd.learning_rate = 0.05;
+    config.node.num_tips = 2;
+    // The defence: sample many candidate tips, validate each on local
+    // data, and average/approve only the best two (Section III-E).
+    config.node.tip_sample_size = robust ? 8 : 2;
+    config.node.reference.num_reference_models = 5;
+    config.attack = core::AttackType::kRandomPoison;
+    config.malicious_fraction = fraction;
+    config.attack_start_round = pretrain + 1;
+    config.seed = seed;
+    return core::run_tangle_learning(dataset, factory, config,
+                                     robust ? "robust" : "basic");
+  };
+
+  const core::RunResult basic = run_variant(false);
+  const core::RunResult robust = run_variant(true);
+
+  TablePrinter table({"round", "basic tip selection", "robust (III-E)"});
+  for (std::size_t i = 0; i < basic.history.size(); ++i) {
+    table.add_row({std::to_string(basic.history[i].round),
+                   format_fixed(basic.history[i].accuracy, 3),
+                   format_fixed(robust.history[i].accuracy, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAfter the attack begins (round " << pretrain + 1
+            << "), the basic variant's consensus degrades while robust tip\n"
+               "selection keeps validating candidate tips against local data"
+               " and filters the poison.\n"
+            << "final: basic=" << format_fixed(basic.final_accuracy(), 3)
+            << " robust=" << format_fixed(robust.final_accuracy(), 3) << "\n";
+  return 0;
+}

@@ -1,0 +1,238 @@
+#include "core/async_simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "support/log.hpp"
+
+namespace tanglefl::core {
+namespace {
+
+constexpr std::uint64_t kGenesisStream = 0x6e51;
+constexpr std::uint64_t kMaliciousStream = 0x3a11;
+constexpr std::uint64_t kWakeStream = 0xa57c;
+constexpr std::uint64_t kNodeStream = 0x40de;
+constexpr std::uint64_t kEvalStream = 0xe7a1;
+constexpr std::uint64_t kLossStream = 0x105e;
+
+nn::ParamVector make_genesis_params(const nn::ModelFactory& factory,
+                                    Rng rng) {
+  nn::Model model = factory();
+  model.init(rng);
+  return model.get_parameters();
+}
+
+/// Exponential inter-arrival sample.
+double exponential(Rng& rng, double rate) {
+  double u = 0.0;
+  do {
+    u = rng.uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+}  // namespace
+
+AsyncTangleSimulation::AsyncTangleSimulation(
+    const data::FederatedDataset& dataset, nn::ModelFactory factory,
+    AsyncSimulationConfig config)
+    : dataset_(&dataset),
+      factory_(std::move(factory)),
+      config_(config),
+      master_rng_(config.seed),
+      store_(),
+      tangle_([&] {
+        const auto added = store_.add(make_genesis_params(
+            factory_, master_rng_.split(kGenesisStream)));
+        return tangle::Tangle(added.id, added.hash);
+      }()) {
+  const std::size_t num_users = dataset_->num_users();
+  const auto malicious_count = static_cast<std::size_t>(
+      config_.malicious_fraction * static_cast<double>(num_users) + 0.5);
+  if (malicious_count > 0 && config_.attack != AttackType::kNone) {
+    Rng rng = master_rng_.split(kMaliciousStream);
+    malicious_users_ =
+        rng.sample_without_replacement(num_users, malicious_count);
+    std::sort(malicious_users_.begin(), malicious_users_.end());
+    if (config_.attack == AttackType::kLabelFlip) {
+      poisoned_users_.reserve(malicious_users_.size());
+      for (const std::size_t u : malicious_users_) {
+        poisoned_users_.push_back(
+            data::make_label_flip_user(dataset_->user(u), config_.flip));
+      }
+    }
+  }
+}
+
+bool AsyncTangleSimulation::is_malicious(std::size_t user) const noexcept {
+  return std::binary_search(malicious_users_.begin(), malicious_users_.end(),
+                            user);
+}
+
+RoundRecord AsyncTangleSimulation::evaluate(double now) {
+  RoundRecord record;
+  record.round = static_cast<std::uint64_t>(now);
+  record.tangle_size = tangle_.size();
+  record.tip_count = tangle_.view().tips().size();
+
+  const std::size_t num_users = dataset_->num_users();
+  const auto eval_users = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.eval_nodes_fraction *
+                                  static_cast<double>(num_users) +
+                                  0.5));
+  Rng eval_rng = master_rng_.split(kEvalStream).split(to_micros(now));
+  const std::vector<std::size_t> users =
+      eval_rng.sample_without_replacement(num_users, eval_users);
+  const data::DataSplit pooled = dataset_->pooled_test(users);
+  if (pooled.empty()) return record;
+
+  Rng reference_rng = master_rng_.split(kEvalStream).split(tangle_.size());
+  const ReferenceResult reference = choose_reference(
+      tangle_.view(), store_, reference_rng, config_.node.reference);
+  nn::Model model = factory_();
+  model.set_parameters(reference.params);
+  const data::EvalResult eval = data::evaluate(model, pooled);
+  record.accuracy = eval.accuracy;
+  record.loss = eval.loss;
+  record.target_misclassification = data::targeted_misclassification_rate(
+      model, pooled, config_.flip.source_class, config_.flip.target_class);
+  return record;
+}
+
+RunResult AsyncTangleSimulation::run() {
+  struct WakeEvent {
+    double time;
+    std::size_t user;
+    bool operator>(const WakeEvent& other) const { return time > other.time; }
+  };
+  struct PendingPublish {
+    double time;
+    PublishRequest request;
+    bool malicious;
+    bool operator>(const PendingPublish& other) const {
+      return time > other.time;
+    }
+  };
+
+  std::priority_queue<WakeEvent, std::vector<WakeEvent>, std::greater<>>
+      wakes;
+  std::priority_queue<PendingPublish, std::vector<PendingPublish>,
+                      std::greater<>>
+      pending;
+
+  const std::size_t num_users = dataset_->num_users();
+  Rng wake_rng = master_rng_.split(kWakeStream);
+  for (std::size_t u = 0; u < num_users; ++u) {
+    Rng node_wake = wake_rng.split(u + 1);
+    wakes.push({exponential(node_wake, config_.wake_rate_per_node), u});
+  }
+  Rng loss_rng = master_rng_.split(kLossStream);
+
+  RunResult result;
+  result.label = "tangle-async";
+  double next_eval = config_.eval_every_seconds;
+
+  // Flushes landed publishes up to `now`, preserving publish-time order.
+  const auto flush_until = [&](double now) {
+    while (!pending.empty() && pending.top().time <= now) {
+      const PendingPublish& top = pending.top();
+      if (loss_rng.bernoulli(config_.publish_loss)) {
+        ++stats_.lost;
+      } else {
+        const auto added = store_.add(top.request.params);
+        tangle_.add_transaction(top.request.parents, added.id, added.hash,
+                                to_micros(top.time),
+                                top.malicious ? "malicious" : "async-node");
+        ++stats_.published;
+      }
+      pending.pop();
+    }
+  };
+
+  while (!wakes.empty() && wakes.top().time <= config_.duration_seconds) {
+    const WakeEvent event = wakes.top();
+    wakes.pop();
+
+    while (next_eval <= event.time) {
+      flush_until(next_eval);
+      result.history.push_back(evaluate(next_eval));
+      next_eval += config_.eval_every_seconds;
+    }
+    flush_until(event.time);
+    ++stats_.wakeups;
+
+    // The node sees everything that propagated to it by now.
+    const double horizon = event.time - config_.network_delay_seconds;
+    const tangle::TangleView view = tangle_.view_prefix(
+        horizon <= 0.0 ? 1 : tangle_.visible_count_for_round(
+                                 to_micros(horizon) + 1));
+
+    const bool malicious = config_.attack != AttackType::kNone &&
+                           event.time >= config_.attack_start_seconds &&
+                           is_malicious(event.user);
+    NodeContext context{view, store_, factory_, to_micros(event.time),
+                        master_rng_.split(kNodeStream)
+                            .split(to_micros(event.time))
+                            .split(event.user + 1)};
+
+    std::optional<PublishRequest> publish;
+    if (!malicious) {
+      HonestNode node(config_.node);
+      publish = node.step(context, dataset_->user(event.user));
+    } else if (config_.attack == AttackType::kRandomPoison) {
+      RandomPoisonNode node(config_.node);
+      publish = node.step(context, dataset_->user(event.user));
+    } else if (config_.attack == AttackType::kLabelFlip) {
+      const auto it = std::lower_bound(malicious_users_.begin(),
+                                       malicious_users_.end(), event.user);
+      LabelFlipNode node(config_.node);
+      publish = node.step(context,
+                          poisoned_users_[static_cast<std::size_t>(
+                              it - malicious_users_.begin())]);
+    } else if (config_.attack == AttackType::kBackdoor) {
+      BackdoorNode node(config_.node, config_.trigger,
+                        config_.backdoor_boost,
+                        config_.backdoor_data_fraction);
+      publish = node.step(context, dataset_->user(event.user));
+    }
+
+    Rng timing_rng = context.rng.split(0x717e);
+    if (publish) {
+      const double training =
+          exponential(timing_rng, 1.0 / config_.mean_training_seconds);
+      pending.push({event.time + training, std::move(*publish), malicious});
+    } else {
+      ++stats_.abstained;
+    }
+
+    // Schedule this node's next wakeup.
+    const double next_wake =
+        event.time + exponential(timing_rng, config_.wake_rate_per_node);
+    if (next_wake <= config_.duration_seconds) {
+      wakes.push({next_wake, event.user});
+    }
+  }
+
+  // Drain the horizon: remaining publishes plus the final evaluation.
+  flush_until(config_.duration_seconds);
+  stats_.in_flight = pending.size();
+  while (next_eval <= config_.duration_seconds) {
+    result.history.push_back(evaluate(next_eval));
+    next_eval += config_.eval_every_seconds;
+  }
+  result.history.push_back(evaluate(config_.duration_seconds));
+  return result;
+}
+
+RunResult run_async_tangle_learning(const data::FederatedDataset& dataset,
+                                    nn::ModelFactory factory,
+                                    const AsyncSimulationConfig& config,
+                                    std::string label) {
+  AsyncTangleSimulation simulation(dataset, std::move(factory), config);
+  RunResult result = simulation.run();
+  result.label = std::move(label);
+  return result;
+}
+
+}  // namespace tanglefl::core

@@ -1,0 +1,76 @@
+#include "core/biased_walk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tanglefl::core {
+
+double LocalLossCache::loss(const tangle::TangleView& view,
+                            tangle::TxIndex index) {
+  if (const auto it = cache_.find(index); it != cache_.end()) {
+    return it->second;
+  }
+  double value = 0.0;
+  if (validation_->empty()) {
+    value = 0.0;  // no data to bias with; degenerate to structural walk
+  } else {
+    nn::Model model = (*factory_)();
+    model.set_parameters(
+        store_->get(view.tangle().transaction(index).payload));
+    value = data::evaluate(model, *validation_).loss;
+    ++evaluations_;
+  }
+  cache_.emplace(index, value);
+  return value;
+}
+
+tangle::TxIndex biased_random_walk_tip(
+    const tangle::TangleView& view,
+    std::span<const std::uint32_t> future_cones, LocalLossCache& cache,
+    Rng& rng, const BiasedWalkConfig& config) {
+  tangle::TxIndex current = view.tangle().genesis();
+  std::vector<double> weights;
+  for (;;) {
+    const std::vector<tangle::TxIndex> approvers = view.approvers(current);
+    if (approvers.empty()) return current;
+    if (approvers.size() == 1) {
+      current = approvers.front();
+      continue;
+    }
+
+    // Normalize both terms against the branch optimum for stability.
+    std::uint32_t max_weight = 0;
+    double min_loss = 1e300;
+    for (const tangle::TxIndex a : approvers) {
+      max_weight = std::max(max_weight, future_cones[a]);
+      if (config.beta != 0.0) {
+        min_loss = std::min(min_loss, cache.loss(view, a));
+      }
+    }
+    weights.clear();
+    for (const tangle::TxIndex a : approvers) {
+      double exponent = config.alpha * (static_cast<double>(future_cones[a]) -
+                                        static_cast<double>(max_weight));
+      if (config.beta != 0.0) {
+        exponent -= config.beta * (cache.loss(view, a) - min_loss);
+      }
+      weights.push_back(std::exp(exponent));
+    }
+    current = approvers[rng.weighted_choice(weights)];
+  }
+}
+
+std::vector<tangle::TxIndex> biased_select_tips(
+    const tangle::TangleView& view, std::size_t count, LocalLossCache& cache,
+    Rng& rng, const BiasedWalkConfig& config) {
+  const std::vector<std::uint32_t> future_cones = view.future_cone_sizes();
+  std::vector<tangle::TxIndex> tips;
+  tips.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tips.push_back(
+        biased_random_walk_tip(view, future_cones, cache, rng, config));
+  }
+  return tips;
+}
+
+}  // namespace tanglefl::core

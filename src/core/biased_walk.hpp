@@ -1,0 +1,68 @@
+// Accuracy-biased tip selection — the first Section VI outlook item:
+// "evaluate the model on local data during the tip selection algorithm,
+// introducing model performance as a bias in the weighted random walk.
+// This could lead to clusters of federated nodes with similar data working
+// on separate sub-tangles."
+//
+// The walk's transition probability combines the structural cumulative
+// weight with the payload's loss on the walking node's local validation
+// data:
+//
+//   P(current -> child) ∝ exp(alpha * w_child - beta * loss_child)
+//
+// beta = 0 recovers the standard walk; larger beta steers the walk towards
+// branches whose models already fit the local distribution, letting nodes
+// with similar data converge on shared sub-tangles (personalization).
+// Payload losses are memoized per (node step) in a LocalLossCache, so each
+// transaction is evaluated at most once regardless of walk count.
+#pragma once
+
+#include <unordered_map>
+
+#include "data/dataset.hpp"
+#include "data/training.hpp"
+#include "nn/model.hpp"
+#include "support/rng.hpp"
+#include "tangle/model_store.hpp"
+#include "tangle/tip_selection.hpp"
+
+namespace tanglefl::core {
+
+/// Memoized evaluation of transaction payloads on one validation split.
+class LocalLossCache {
+ public:
+  LocalLossCache(const tangle::ModelStore& store,
+                 const nn::ModelFactory& factory,
+                 const data::DataSplit& validation)
+      : store_(&store), factory_(&factory), validation_(&validation) {}
+
+  /// Loss of `index`'s payload on the validation split (cached).
+  double loss(const tangle::TangleView& view, tangle::TxIndex index);
+
+  std::size_t evaluations() const noexcept { return evaluations_; }
+
+ private:
+  const tangle::ModelStore* store_;
+  const nn::ModelFactory* factory_;
+  const data::DataSplit* validation_;
+  std::unordered_map<tangle::TxIndex, double> cache_;
+  std::size_t evaluations_ = 0;
+};
+
+struct BiasedWalkConfig {
+  double alpha = 0.01;  // structural (cumulative weight) bias
+  double beta = 1.0;    // local-performance bias; 0 = standard walk
+};
+
+/// One biased walk over `view`; returns the reached tip.
+tangle::TxIndex biased_random_walk_tip(
+    const tangle::TangleView& view,
+    std::span<const std::uint32_t> future_cones, LocalLossCache& cache,
+    Rng& rng, const BiasedWalkConfig& config);
+
+/// Runs `count` biased walks sharing one loss cache.
+std::vector<tangle::TxIndex> biased_select_tips(
+    const tangle::TangleView& view, std::size_t count, LocalLossCache& cache,
+    Rng& rng, const BiasedWalkConfig& config);
+
+}  // namespace tanglefl::core

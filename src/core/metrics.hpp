@@ -1,0 +1,48 @@
+// Experiment metrics shared by the tangle simulation and the FedAvg
+// baseline: one record per evaluation round, in the shape of the series
+// plotted in Figs. 3-6.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tanglefl::core {
+
+struct RoundRecord {
+  std::uint64_t round = 0;
+  double accuracy = 0.0;  // consensus/global model accuracy on pooled test
+  double loss = 0.0;
+  // Fraction of source-class test samples predicted as the target class
+  // (Fig. 6b); 0 when no attack metric was requested.
+  double target_misclassification = 0.0;
+  // Backdoor attack-success rate on trigger-stamped test samples; only
+  // populated by backdoor-attack simulations.
+  double backdoor_success = 0.0;
+  std::size_t tangle_size = 0;     // transactions in the ledger (tangle only)
+  std::size_t tip_count = 0;       // current tips (tangle only)
+  double publish_rate = 0.0;       // honest publishes / honest participants
+};
+
+struct RunResult {
+  std::string label;
+  std::vector<RoundRecord> history;
+
+  /// Accuracy of the last evaluation, or 0 if none ran.
+  double final_accuracy() const noexcept {
+    return history.empty() ? 0.0 : history.back().accuracy;
+  }
+
+  /// First evaluated round whose accuracy reaches `threshold`, or -1. Used
+  /// for Table II ("rounds to reach 70% accuracy of the reference model").
+  std::int64_t rounds_to_accuracy(double threshold) const noexcept {
+    for (const auto& record : history) {
+      if (record.accuracy >= threshold) {
+        return static_cast<std::int64_t>(record.round);
+      }
+    }
+    return -1;
+  }
+};
+
+}  // namespace tanglefl::core

@@ -1,0 +1,187 @@
+#include "core/node.hpp"
+
+#include "core/biased_walk.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tanglefl::core {
+namespace {
+
+/// Loss of a parameter vector on `split`, via a throwaway model instance.
+double params_loss(const nn::ModelFactory& factory,
+                   const nn::ParamVector& params,
+                   const data::DataSplit& split) {
+  nn::Model model = factory();
+  model.set_parameters(params);
+  return data::evaluate(model, split).loss;
+}
+
+}  // namespace
+
+std::vector<tangle::TxIndex> HonestNode::choose_parents(
+    NodeContext& context, const data::DataSplit& validation) {
+  const std::size_t num_tips = std::max<std::size_t>(1, config_.num_tips);
+  const std::size_t sample_size =
+      std::max(num_tips, config_.tip_sample_size);
+
+  Rng walk_rng = context.rng.split(0x71b5);
+  std::vector<tangle::TxIndex> candidates;
+  if (config_.use_biased_walk) {
+    LocalLossCache cache(context.store, context.factory, validation);
+    const BiasedWalkConfig walk_config{config_.tip_selection.alpha,
+                                       config_.walk_loss_beta};
+    candidates = biased_select_tips(context.view, sample_size, cache,
+                                    walk_rng, walk_config);
+  } else {
+    candidates = tangle::select_tips(context.view, sample_size, walk_rng,
+                                     config_.tip_selection);
+  }
+
+  if (sample_size == num_tips || validation.empty()) {
+    candidates.resize(num_tips);
+    return candidates;
+  }
+
+  // Section III-E: validate every distinct candidate on local data and
+  // average/approve only the best-performing ones.
+  std::vector<tangle::TxIndex> distinct = candidates;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+
+  std::vector<std::pair<double, tangle::TxIndex>> scored;
+  scored.reserve(distinct.size());
+  for (const tangle::TxIndex tip : distinct) {
+    const nn::ParamVector& params =
+        context.store.get(context.view.tangle().transaction(tip).payload);
+    scored.emplace_back(params_loss(context.factory, params, validation), tip);
+  }
+  std::sort(scored.begin(), scored.end());
+
+  std::vector<tangle::TxIndex> parents;
+  for (std::size_t i = 0; i < scored.size() && parents.size() < num_tips;
+       ++i) {
+    parents.push_back(scored[i].second);
+  }
+  // Fewer distinct candidates than requested tips: repeat the best one, as
+  // the tangle allows approving the same transaction twice.
+  while (parents.size() < num_tips) parents.push_back(parents.front());
+  return parents;
+}
+
+std::optional<PublishRequest> HonestNode::step(NodeContext& context,
+                                               const data::UserData& user) {
+  if (user.train.empty()) return std::nullopt;
+  // Validate against local test data; fall back to the training split for
+  // users without one so tiny users can still participate.
+  const data::DataSplit& validation =
+      user.test.empty() ? user.train : user.test;
+
+  // w_r <- ChooseReferenceWeights(G)
+  Rng reference_rng = context.rng.split(0x3ef5);
+  const ReferenceResult reference = choose_reference(
+      context.view, context.store, reference_rng, config_.reference);
+
+  // (w_1, .., w_n) <- TipSelection(G); w_avg <- mean
+  const std::vector<tangle::TxIndex> parents =
+      choose_parents(context, validation);
+  std::vector<const nn::ParamVector*> parent_params;
+  parent_params.reserve(parents.size());
+  for (const tangle::TxIndex p : parents) {
+    parent_params.push_back(
+        &context.store.get(context.view.tangle().transaction(p).payload));
+  }
+  const nn::ParamVector averaged = nn::average_params(parent_params);
+
+  // w_new <- Train(w_avg, epochs, lr)
+  nn::Model model = context.factory();
+  model.set_parameters(averaged);
+  Rng train_rng = context.rng.split(0x7a19);
+  data::train_local(model, user.train, config_.training, train_rng);
+
+  // Publishing-side transforms: the node validates exactly what it would
+  // broadcast, so sanitized/compressed payloads face the same gate.
+  nn::ParamVector outgoing = model.get_parameters();
+  if (config_.use_dp) {
+    Rng dp_rng = context.rng.split(0xd9a1);
+    outgoing = nn::dp_sanitize(outgoing, averaged, config_.dp, dp_rng);
+  }
+  if (config_.quantize_payloads) {
+    outgoing = nn::quantize_roundtrip(outgoing);
+  }
+  if (config_.use_dp || config_.quantize_payloads) {
+    model.set_parameters(outgoing);
+  }
+
+  // if ValidationLoss(w_new) < ValidationLoss(w_r): Broadcast(w_new)
+  const double new_loss = data::evaluate(model, validation).loss;
+  const double reference_loss =
+      params_loss(context.factory, reference.params, validation);
+  if (new_loss >= reference_loss) return std::nullopt;
+
+  return PublishRequest{parents, std::move(outgoing)};
+}
+
+std::optional<PublishRequest> RandomPoisonNode::step(
+    NodeContext& context, const data::UserData& user) {
+  (void)user;
+  // Attach to tips chosen by the regular walk so the poison is picked up
+  // by honest tip selection, then submit N(0,1) parameters.
+  Rng walk_rng = context.rng.split(0x71b5);
+  std::vector<tangle::TxIndex> parents =
+      tangle::select_tips(context.view, std::max<std::size_t>(1, config_.num_tips),
+                          walk_rng, config_.tip_selection);
+
+  nn::Model model = context.factory();
+  nn::ParamVector params(model.parameter_count());
+  Rng noise_rng = context.rng.split(0xbad5);
+  for (auto& p : params) p = static_cast<float>(noise_rng.normal());
+  return PublishRequest{std::move(parents), std::move(params)};
+}
+
+std::optional<PublishRequest> BackdoorNode::step(
+    NodeContext& context, const data::UserData& user) {
+  if (user.train.empty()) return std::nullopt;
+
+  // Blend in with regular tip selection so the poisoned branch looks like
+  // any other.
+  Rng walk_rng = context.rng.split(0x71b5);
+  std::vector<tangle::TxIndex> parents = tangle::select_tips(
+      context.view, std::max<std::size_t>(1, config_.num_tips), walk_rng,
+      config_.tip_selection);
+  std::vector<const nn::ParamVector*> parent_params;
+  parent_params.reserve(parents.size());
+  for (const tangle::TxIndex p : parents) {
+    parent_params.push_back(
+        &context.store.get(context.view.tangle().transaction(p).payload));
+  }
+  const nn::ParamVector base = nn::average_params(parent_params);
+
+  // Train on the half-poisoned local dataset.
+  Rng poison_rng = context.rng.split(0xbd00);
+  const data::DataSplit poisoned = data::make_backdoor_train_split(
+      user.train, trigger_, poison_fraction_, poison_rng);
+  nn::Model model = context.factory();
+  model.set_parameters(base);
+  Rng train_rng = context.rng.split(0x7a19);
+  data::train_local(model, poisoned, config_.training, train_rng);
+
+  // Model replacement: boost the update so it dominates future averages,
+  // and publish unconditionally (the attacker ignores the validation gate).
+  nn::ParamVector boosted = model.get_parameters();
+  for (std::size_t i = 0; i < boosted.size(); ++i) {
+    boosted[i] = base[i] + static_cast<float>(boost_) * (boosted[i] - base[i]);
+  }
+  return PublishRequest{std::move(parents), std::move(boosted)};
+}
+
+std::optional<PublishRequest> LabelFlipNode::step(
+    NodeContext& context, const data::UserData& poisoned_user) {
+  // A flip node whose local data holds no source-class samples has nothing
+  // to poison with and abstains.
+  if (poisoned_user.train.empty()) return std::nullopt;
+  return honest_.step(context, poisoned_user);
+}
+
+}  // namespace tanglefl::core

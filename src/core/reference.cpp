@@ -1,0 +1,42 @@
+#include "core/reference.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace tanglefl::core {
+
+ReferenceResult choose_reference(const tangle::TangleView& view,
+                                 const tangle::ModelStore& store, Rng& rng,
+                                 const ReferenceConfig& config) {
+  assert(view.size() > 0);
+  const std::vector<double> confidences =
+      tangle::compute_confidences(view, rng, config.confidence);
+  const std::vector<double> ratings = tangle::compute_ratings(view);
+
+  // Priority queue over confidence * rating, exactly as in Algorithm 1.
+  // Ties (e.g. the all-zero priorities right after genesis) resolve to the
+  // newest transaction so early rounds track fresh training results.
+  using Entry = std::pair<double, tangle::TxIndex>;
+  std::priority_queue<Entry> queue;
+  for (tangle::TxIndex i = 0; i < view.size(); ++i) {
+    queue.emplace(confidences[i] * ratings[i], i);
+  }
+
+  const std::size_t take =
+      std::max<std::size_t>(1, std::min(config.num_reference_models,
+                                        view.size()));
+  ReferenceResult result;
+  std::vector<const nn::ParamVector*> payloads;
+  while (result.transactions.size() < take && !queue.empty()) {
+    const auto [priority, index] = queue.top();
+    queue.pop();
+    (void)priority;
+    result.transactions.push_back(index);
+    payloads.push_back(&store.get(view.tangle().transaction(index).payload));
+  }
+  result.params = nn::average_params(payloads);
+  return result;
+}
+
+}  // namespace tanglefl::core

@@ -1,0 +1,36 @@
+// Algorithm 1: choosing the reference (consensus) model from the tangle.
+// Every transaction is scored by confidence(t) * rating(t); the
+// highest-priority transaction's payload is the consensus model. As a
+// smoothing variation, the top-n payloads can be averaged (Section III-A),
+// which Table II probes as "# transactions chosen as reference model".
+#pragma once
+
+#include <vector>
+
+#include "nn/params.hpp"
+#include "support/rng.hpp"
+#include "tangle/confidence.hpp"
+#include "tangle/model_store.hpp"
+#include "tangle/tangle.hpp"
+
+namespace tanglefl::core {
+
+struct ReferenceConfig {
+  std::size_t num_reference_models = 1;  // top-n payloads to average
+  tangle::ConfidenceConfig confidence;
+};
+
+struct ReferenceResult {
+  // Transactions in descending priority order (as many as were averaged).
+  std::vector<tangle::TxIndex> transactions;
+  // Averaged payload of those transactions.
+  nn::ParamVector params;
+};
+
+/// Runs Algorithm 1 over `view`. The view always contains at least the
+/// genesis transaction, so a result always exists.
+ReferenceResult choose_reference(const tangle::TangleView& view,
+                                 const tangle::ModelStore& store, Rng& rng,
+                                 const ReferenceConfig& config);
+
+}  // namespace tanglefl::core

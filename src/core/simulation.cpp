@@ -1,0 +1,234 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/log.hpp"
+
+namespace tanglefl::core {
+namespace {
+
+constexpr std::uint64_t kParticipantStream = 0x9a57;
+constexpr std::uint64_t kNodeStream = 0x40de;
+constexpr std::uint64_t kEvalStream = 0xe7a1;
+constexpr std::uint64_t kGenesisStream = 0x6e51;
+constexpr std::uint64_t kMaliciousStream = 0x3a11;
+
+nn::ParamVector make_genesis_params(const nn::ModelFactory& factory,
+                                    Rng rng) {
+  nn::Model model = factory();
+  model.init(rng);
+  return model.get_parameters();
+}
+
+}  // namespace
+
+TangleSimulation::TangleSimulation(const data::FederatedDataset& dataset,
+                                   nn::ModelFactory factory,
+                                   SimulationConfig config)
+    : dataset_(&dataset),
+      factory_(std::move(factory)),
+      config_(config),
+      master_rng_(config.seed),
+      store_(),
+      tangle_([&] {
+        // Genesis payload: a randomly initialized model every node starts
+        // from.
+        const auto added = store_.add(make_genesis_params(
+            factory_, master_rng_.split(kGenesisStream)));
+        return tangle::Tangle(added.id, added.hash);
+      }()),
+      pool_(std::max<std::size_t>(1, config.threads)) {
+  if (config_.auto_confidence_samples) {
+    config_.node.reference.confidence.sample_rounds = config_.nodes_per_round;
+  }
+
+  // Declare a fixed random subset of users malicious.
+  const std::size_t num_users = dataset_->num_users();
+  const auto malicious_count = static_cast<std::size_t>(
+      config_.malicious_fraction * static_cast<double>(num_users) + 0.5);
+  if (malicious_count > 0 && config_.attack != AttackType::kNone) {
+    Rng rng = master_rng_.split(kMaliciousStream);
+    malicious_users_ =
+        rng.sample_without_replacement(num_users, malicious_count);
+    std::sort(malicious_users_.begin(), malicious_users_.end());
+    if (config_.attack == AttackType::kLabelFlip) {
+      poisoned_users_.reserve(malicious_users_.size());
+      for (const std::size_t u : malicious_users_) {
+        poisoned_users_.push_back(
+            data::make_label_flip_user(dataset_->user(u), config_.flip));
+      }
+    }
+  }
+}
+
+bool TangleSimulation::attack_active(std::uint64_t round) const noexcept {
+  return config_.attack != AttackType::kNone &&
+         round >= config_.attack_start_round && !malicious_users_.empty();
+}
+
+bool TangleSimulation::is_malicious(std::size_t user) const noexcept {
+  return std::binary_search(malicious_users_.begin(), malicious_users_.end(),
+                            user);
+}
+
+std::size_t TangleSimulation::run_round(std::uint64_t round) {
+  assert(round >= 1);
+  const std::size_t num_users = dataset_->num_users();
+  const std::size_t participants =
+      std::min(config_.nodes_per_round, num_users);
+
+  Rng selection_rng = master_rng_.split(kParticipantStream).split(round);
+  const std::vector<std::size_t> chosen =
+      selection_rng.sample_without_replacement(num_users, participants);
+
+  const tangle::TangleView view =
+      tangle_.view_prefix(tangle_.visible_count_for_round(round));
+  const bool attacking = attack_active(round);
+
+  struct SlotResult {
+    std::optional<PublishRequest> publish;
+    bool malicious = false;
+  };
+  std::vector<SlotResult> results(participants);
+
+  pool_.parallel_for(participants, [&](std::size_t slot) {
+    const std::size_t user_index = chosen[slot];
+    const bool malicious = attacking && is_malicious(user_index);
+    results[slot].malicious = malicious;
+
+    NodeContext context{view, store_, factory_, round,
+                        master_rng_.split(kNodeStream)
+                            .split(round)
+                            .split(user_index + 1)};
+
+    if (!malicious) {
+      HonestNode node(config_.node);
+      results[slot].publish = node.step(context, dataset_->user(user_index));
+      return;
+    }
+    switch (config_.attack) {
+      case AttackType::kRandomPoison: {
+        RandomPoisonNode node(config_.node);
+        results[slot].publish =
+            node.step(context, dataset_->user(user_index));
+        break;
+      }
+      case AttackType::kLabelFlip: {
+        const auto it = std::lower_bound(malicious_users_.begin(),
+                                         malicious_users_.end(), user_index);
+        const auto offset =
+            static_cast<std::size_t>(it - malicious_users_.begin());
+        LabelFlipNode node(config_.node);
+        results[slot].publish =
+            node.step(context, poisoned_users_[offset]);
+        break;
+      }
+      case AttackType::kBackdoor: {
+        BackdoorNode node(config_.node, config_.trigger,
+                          config_.backdoor_boost,
+                          config_.backdoor_data_fraction);
+        results[slot].publish =
+            node.step(context, dataset_->user(user_index));
+        break;
+      }
+      case AttackType::kNone:
+        break;
+    }
+  });
+
+  // Round barrier: everything published this round lands in the ledger
+  // now and becomes visible from round + 1 on.
+  std::size_t published = 0;
+  std::size_t honest_published = 0;
+  std::size_t honest_participants = 0;
+  for (std::size_t slot = 0; slot < participants; ++slot) {
+    auto& result = results[slot];
+    if (!result.malicious) ++honest_participants;
+    if (!result.publish) continue;
+    const auto added = store_.add(std::move(result.publish->params));
+    tangle_.add_transaction(result.publish->parents, added.id, added.hash,
+                            round,
+                            result.malicious
+                                ? "malicious"
+                                : dataset_->user(chosen[slot]).user_id);
+    ++published;
+    if (!result.malicious) ++honest_published;
+  }
+  last_publish_rate_ =
+      honest_participants > 0
+          ? static_cast<double>(honest_published) /
+                static_cast<double>(honest_participants)
+          : 0.0;
+  return published;
+}
+
+nn::ParamVector TangleSimulation::consensus_params() {
+  Rng rng = master_rng_.split(kEvalStream).split(tangle_.size());
+  const ReferenceResult reference = choose_reference(
+      tangle_.view(), store_, rng, config_.node.reference);
+  return reference.params;
+}
+
+RoundRecord TangleSimulation::evaluate(std::uint64_t round) {
+  RoundRecord record;
+  record.round = round;
+  record.tangle_size = tangle_.size();
+  record.tip_count = tangle_.view().tips().size();
+  record.publish_rate = last_publish_rate_;
+
+  // Pool the test data of a random eval_nodes_fraction of all users.
+  const std::size_t num_users = dataset_->num_users();
+  const auto eval_users = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.eval_nodes_fraction *
+                                  static_cast<double>(num_users) +
+                                  0.5));
+  Rng eval_rng = master_rng_.split(kEvalStream).split(round);
+  const std::vector<std::size_t> users =
+      eval_rng.sample_without_replacement(num_users, eval_users);
+  const data::DataSplit pooled = dataset_->pooled_test(users);
+  if (pooled.empty()) return record;
+
+  nn::Model model = factory_();
+  model.set_parameters(consensus_params());
+  const data::EvalResult eval = data::evaluate(model, pooled);
+  record.accuracy = eval.accuracy;
+  record.loss = eval.loss;
+  record.target_misclassification = data::targeted_misclassification_rate(
+      model, pooled, config_.flip.source_class, config_.flip.target_class);
+  if (config_.attack == AttackType::kBackdoor) {
+    record.backdoor_success =
+        data::backdoor_success_rate(model, pooled, config_.trigger);
+  }
+  return record;
+}
+
+RunResult TangleSimulation::run() {
+  RunResult result;
+  result.label = "tangle";
+  for (std::uint64_t round = 1; round <= config_.rounds; ++round) {
+    const std::size_t published = run_round(round);
+    if (round % config_.eval_every == 0 || round == config_.rounds) {
+      const RoundRecord record = evaluate(round);
+      result.history.push_back(record);
+      log_info() << "tangle round " << round << ": acc="
+                 << record.accuracy << " loss=" << record.loss
+                 << " tx=" << record.tangle_size
+                 << " tips=" << record.tip_count
+                 << " published=" << published;
+    }
+  }
+  return result;
+}
+
+RunResult run_tangle_learning(const data::FederatedDataset& dataset,
+                              nn::ModelFactory factory,
+                              const SimulationConfig& config,
+                              std::string label) {
+  TangleSimulation simulation(dataset, std::move(factory), config);
+  RunResult result = simulation.run();
+  result.label = std::move(label);
+  return result;
+}
+
+}  // namespace tanglefl::core

@@ -1,0 +1,108 @@
+// Round-based simulation engine for the learning tangle (Section IV).
+// Training is organized in rounds: a subset of nodes participates per
+// round, transactions published in round r become visible in round r+1,
+// and a fraction of nodes can be declared malicious from a configurable
+// attack-start round onward. Node steps within a round run in parallel on
+// a thread pool; determinism is preserved because every step derives its
+// randomness from (seed, round, slot).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/node.hpp"
+#include "data/poison.hpp"
+#include "support/thread_pool.hpp"
+
+namespace tanglefl::core {
+
+enum class AttackType {
+  kNone,
+  kRandomPoison,  // Fig. 5: N(0,1) parameter transactions
+  kLabelFlip,     // Fig. 6: source-class samples labeled as target class
+  kBackdoor,      // Section VI outlook: boosted trigger-patch backdoor [29]
+};
+
+struct SimulationConfig {
+  std::size_t rounds = 50;
+  std::size_t nodes_per_round = 10;
+
+  // Evaluation cadence; the paper validates every 20 training rounds on
+  // the test data of a random 10% of all nodes.
+  std::size_t eval_every = 5;
+  double eval_nodes_fraction = 0.1;
+
+  NodeConfig node;
+
+  AttackType attack = AttackType::kNone;
+  double malicious_fraction = 0.0;
+  std::uint64_t attack_start_round = 0;  // rounds >= this run the attack
+  data::LabelFlip flip{3, 8};
+
+  // Backdoor attack parameters (attack == kBackdoor).
+  data::BackdoorTrigger trigger;
+  double backdoor_boost = 3.0;
+  double backdoor_data_fraction = 0.5;
+
+  std::uint64_t seed = 1;
+  std::size_t threads = 1;  // worker threads for per-round node training
+
+  // Paper: "we set the number of sampling rounds for establishing the
+  // consensus and for selecting the parent tips for training equal to the
+  // number of active nodes per round". When true, confidence sampling
+  // rounds are forced to nodes_per_round.
+  bool auto_confidence_samples = true;
+};
+
+class TangleSimulation {
+ public:
+  /// The dataset and factory must outlive the simulation.
+  TangleSimulation(const data::FederatedDataset& dataset,
+                   nn::ModelFactory factory, SimulationConfig config);
+
+  /// Runs all configured rounds; returns the evaluation history.
+  RunResult run();
+
+  /// Advances one round (rounds are 1-based; call with consecutive values).
+  /// Returns the number of transactions published this round.
+  std::size_t run_round(std::uint64_t round);
+
+  /// Evaluates the current consensus model on pooled test data of a random
+  /// node subset, as the paper does between training rounds.
+  RoundRecord evaluate(std::uint64_t round);
+
+  const tangle::Tangle& tangle() const noexcept { return tangle_; }
+  const tangle::ModelStore& store() const noexcept { return store_; }
+  const std::vector<std::size_t>& malicious_users() const noexcept {
+    return malicious_users_;
+  }
+
+  /// Consensus parameters right now (Algorithm 1 over the full ledger).
+  nn::ParamVector consensus_params();
+
+ private:
+  bool attack_active(std::uint64_t round) const noexcept;
+  bool is_malicious(std::size_t user) const noexcept;
+
+  const data::FederatedDataset* dataset_;
+  nn::ModelFactory factory_;
+  SimulationConfig config_;
+  Rng master_rng_;
+  tangle::ModelStore store_;
+  tangle::Tangle tangle_;
+  ThreadPool pool_;
+
+  std::vector<std::size_t> malicious_users_;    // sorted user indices
+  std::vector<data::UserData> poisoned_users_;  // parallel to malicious_users_
+
+  double last_publish_rate_ = 0.0;
+};
+
+/// Convenience wrapper: construct, run, and label a simulation.
+RunResult run_tangle_learning(const data::FederatedDataset& dataset,
+                              nn::ModelFactory factory,
+                              const SimulationConfig& config,
+                              std::string label = "tangle");
+
+}  // namespace tanglefl::core

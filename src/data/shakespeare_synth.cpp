@@ -1,0 +1,178 @@
+#include "data/shakespeare_synth.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <tuple>
+
+#include "support/rng.hpp"
+
+namespace tanglefl::data {
+namespace {
+
+constexpr std::uint64_t kGlobalChainStream = 0x5aa11;
+constexpr std::uint64_t kUserChainStream = 0x5aa22;
+constexpr std::uint64_t kTextStream = 0x5aa33;
+
+/// Markov chain over character ids. `order` previous characters form the
+/// context; each context row is a distribution over the vocabulary. Order
+/// 1 keeps contexts dense enough to be learnable at laptop scale; order 2
+/// is available for harder languages.
+struct MarkovChain {
+  std::size_t vocab = 0;
+  std::size_t order = 1;
+  std::vector<double> table;  // vocab^order rows of `vocab` entries
+
+  std::size_t context_count() const {
+    std::size_t count = 1;
+    for (std::size_t i = 0; i < order; ++i) count *= vocab;
+    return count;
+  }
+
+  /// Row for the context formed by the last `order` entries of `history`.
+  std::span<const double> row(std::span<const std::size_t> history) const {
+    std::size_t index = 0;
+    for (std::size_t i = history.size() - order; i < history.size(); ++i) {
+      index = index * vocab + history[i];
+    }
+    return {table.data() + index * vocab, vocab};
+  }
+};
+
+/// Zipfian symbol-frequency profile: like natural-language characters,
+/// a few symbols (space, e, t, ...) dominate. This matters for learning
+/// dynamics — a model first fits these marginals, then the conditional
+/// structure, just as on real text.
+std::vector<double> zipf_profile(std::size_t vocab) {
+  std::vector<double> profile(vocab);
+  double total = 0.0;
+  for (std::size_t i = 0; i < vocab; ++i) {
+    profile[i] = 1.0 / static_cast<double>(i + 1);
+    total += profile[i];
+  }
+  for (auto& p : profile) p /= total;
+  return profile;
+}
+
+MarkovChain make_chain(std::size_t vocab, std::size_t order,
+                       double concentration, Rng rng) {
+  MarkovChain chain;
+  chain.vocab = vocab;
+  chain.order = order;
+  // Asymmetric Dirichlet rows: expected row = the Zipf profile; the total
+  // concentration (concentration * vocab) stays small so each context
+  // still has strongly peaked, learnable transitions.
+  const std::vector<double> profile = zipf_profile(vocab);
+  std::vector<double> alphas(vocab);
+  for (std::size_t i = 0; i < vocab; ++i) {
+    alphas[i] = concentration * static_cast<double>(vocab) * profile[i];
+  }
+  const std::size_t contexts = chain.context_count();
+  chain.table.reserve(contexts * vocab);
+  for (std::size_t r = 0; r < contexts; ++r) {
+    Rng row_rng = rng.split(r + 1);
+    const std::vector<double> row = row_rng.dirichlet(alphas);
+    chain.table.insert(chain.table.end(), row.begin(), row.end());
+  }
+  return chain;
+}
+
+/// Mixes a private chain into the global one: rows become
+/// (1-m) * global + m * user.
+MarkovChain mix_chains(const MarkovChain& global, const MarkovChain& user,
+                       double mixture) {
+  MarkovChain out;
+  out.vocab = global.vocab;
+  out.order = global.order;
+  out.table.resize(global.table.size());
+  for (std::size_t i = 0; i < out.table.size(); ++i) {
+    out.table[i] = (1.0 - mixture) * global.table[i] + mixture * user.table[i];
+  }
+  return out;
+}
+
+std::vector<std::int32_t> generate_text(const MarkovChain& chain,
+                                        std::size_t length, Rng& rng) {
+  std::vector<std::int32_t> text;
+  text.reserve(length);
+  std::vector<std::size_t> history(chain.order);
+  for (auto& h : history) h = rng.uniform_index(chain.vocab);
+  for (std::size_t i = 0; i < length; ++i) {
+    const std::size_t next = rng.weighted_choice(chain.row(history));
+    text.push_back(static_cast<std::int32_t>(next));
+    history.erase(history.begin());
+    history.push_back(next);
+  }
+  return text;
+}
+
+MarkovChain make_user_chain(const ShakespeareSynthConfig& config,
+                            std::size_t user_id, const MarkovChain& global) {
+  const MarkovChain private_chain = make_chain(
+      config.vocab_size, config.markov_order, config.chain_concentration,
+      Rng(config.seed).split(kUserChainStream).split(user_id + 1));
+  return mix_chains(global, private_chain, config.style_mixture);
+}
+
+}  // namespace
+
+std::vector<std::int32_t> generate_user_text(
+    const ShakespeareSynthConfig& config, std::size_t user_id,
+    std::size_t length) {
+  const MarkovChain global =
+      make_chain(config.vocab_size, config.markov_order,
+                 config.chain_concentration,
+                 Rng(config.seed).split(kGlobalChainStream));
+  const MarkovChain chain = make_user_chain(config, user_id, global);
+  Rng rng = Rng(config.seed).split(kTextStream).split(user_id + 1);
+  return generate_text(chain, length, rng);
+}
+
+FederatedDataset make_shakespeare_synth(const ShakespeareSynthConfig& config) {
+  assert(config.vocab_size >= 2 && config.seq_length >= 1);
+
+  const MarkovChain global =
+      make_chain(config.vocab_size, config.markov_order,
+                 config.chain_concentration,
+                 Rng(config.seed).split(kGlobalChainStream));
+
+  std::vector<UserData> users;
+  users.reserve(config.num_users);
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    const MarkovChain chain = make_user_chain(config, u, global);
+    Rng rng = Rng(config.seed).split(kTextStream).split(u + 1);
+
+    const double log_mean = std::log(config.mean_chars_per_user);
+    const auto text_length = static_cast<std::size_t>(std::llround(
+        std::exp(rng.normal(log_mean, config.chars_log_sigma))));
+    const std::vector<std::int32_t> text =
+        generate_text(chain, text_length, rng);
+    if (text.size() <= config.seq_length) continue;
+
+    // Slice into (window, next char) examples.
+    const std::size_t count = text.size() - config.seq_length;
+    DataSplit all;
+    all.features = nn::Tensor({count, config.seq_length});
+    all.labels.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t t = 0; t < config.seq_length; ++t) {
+        all.features.at(i, t) = static_cast<float>(text[i + t]);
+      }
+      all.labels[i] = text[i + config.seq_length];
+    }
+
+    UserData user;
+    user.user_id = "role_" + std::to_string(u);
+    Rng split_rng = rng.split(0x59111);
+    std::tie(user.train, user.test) =
+        train_test_split(all, config.train_fraction, split_rng);
+    users.push_back(std::move(user));
+  }
+
+  FederatedDataset dataset("shakespeare-synth", "Stacked LSTM",
+                           config.vocab_size, config.train_fraction,
+                           std::move(users));
+  dataset.filter_min_samples(config.min_samples_per_user);
+  return dataset;
+}
+
+}  // namespace tanglefl::data

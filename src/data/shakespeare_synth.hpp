@@ -1,0 +1,44 @@
+// Synthetic Shakespeare substitute. LEAF's Shakespeare task partitions the
+// plays by speaking role and trains a next-character predictor; roles have
+// distinct vocabularies and phrasing, making the partition non-IID. We
+// reproduce the structure with a procedural language:
+//
+//   * a global order-2 Markov chain over a small character vocabulary plays
+//     the role of "the English of the plays",
+//   * each user (role) speaks a mixture of the global chain and a private
+//     per-role chain (the mixture weight controls how non-IID roles are),
+//   * each role's generated text is sliced into fixed-length windows with
+//     the following character as the label — exactly LEAF's featurization.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace tanglefl::data {
+
+struct ShakespeareSynthConfig {
+  std::size_t num_users = 30;     // paper: 1058; scaled down by default
+  std::size_t vocab_size = 30;    // paper: 80; scaled down by default
+  std::size_t seq_length = 16;    // paper: 80; scaled down by default
+  double train_fraction = 0.9;    // Table I
+  double style_mixture = 0.35;    // weight of the per-role private chain
+  std::size_t markov_order = 1;   // context length of the language chain
+  double chain_concentration = 0.08;  // Dirichlet alpha scale for transition rows
+  double mean_chars_per_user = 400.0;
+  double chars_log_sigma = 0.4;
+  std::size_t min_samples_per_user = 64;  // Table I
+  std::uint64_t seed = 42;
+};
+
+/// Generates the full federated dataset. Users whose generated text yields
+/// fewer than `min_samples_per_user` examples are dropped, mirroring LEAF
+/// preprocessing. Deterministic in `config.seed`.
+FederatedDataset make_shakespeare_synth(const ShakespeareSynthConfig& config);
+
+/// Generates `length` characters of one user's text (exposed for tests).
+std::vector<std::int32_t> generate_user_text(
+    const ShakespeareSynthConfig& config, std::size_t user_id,
+    std::size_t length);
+
+}  // namespace tanglefl::data

@@ -1,0 +1,133 @@
+#include "data/training.hpp"
+
+#include <cassert>
+
+namespace tanglefl::data {
+
+double train_local(nn::Model& model, const DataSplit& split,
+                   const TrainConfig& config, Rng& rng) {
+  if (split.empty()) return 0.0;
+  nn::SgdOptimizer sgd(config.sgd);
+  nn::AdamOptimizer adam(config.adam);
+
+  double final_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const std::vector<std::size_t> order = rng.permutation(split.size());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t count =
+          std::min(config.batch_size, order.size() - start);
+      const std::span<const std::size_t> indices(order.data() + start, count);
+      const DataSplit batch = split.gather(indices);
+
+      model.zero_gradients();
+      const nn::Tensor logits = model.forward(batch.features, /*training=*/true);
+      const nn::LossResult loss = nn::softmax_cross_entropy(
+          logits, std::span<const std::int32_t>(batch.labels));
+      model.backward(loss.grad);
+      if (config.use_adam) adam.step(model);
+      else sgd.step(model);
+
+      epoch_loss += loss.loss;
+      ++batches;
+    }
+    final_epoch_loss = batches > 0 ? epoch_loss / static_cast<double>(batches)
+                                   : 0.0;
+  }
+  return final_epoch_loss;
+}
+
+EvalResult evaluate(nn::Model& model, const DataSplit& split,
+                    std::size_t batch_size) {
+  EvalResult result;
+  if (split.empty()) return result;
+
+  double loss_sum = 0.0;
+  std::size_t correct = 0;
+  for (std::size_t start = 0; start < split.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, split.size() - start);
+    std::vector<std::size_t> indices(count);
+    for (std::size_t i = 0; i < count; ++i) indices[i] = start + i;
+    const DataSplit batch = split.gather(indices);
+
+    const nn::Tensor logits = model.forward(batch.features, /*training=*/false);
+    const std::span<const std::int32_t> labels(batch.labels);
+    loss_sum +=
+        static_cast<double>(nn::softmax_cross_entropy_loss(logits, labels)) *
+        static_cast<double>(count);
+    for (std::size_t b = 0; b < count; ++b) {
+      if (logits.argmax_row(b) == static_cast<std::size_t>(labels[b])) {
+        ++correct;
+      }
+    }
+  }
+  result.samples = split.size();
+  result.loss = loss_sum / static_cast<double>(split.size());
+  result.accuracy =
+      static_cast<double>(correct) / static_cast<double>(split.size());
+  return result;
+}
+
+double backdoor_success_rate(nn::Model& model, const DataSplit& clean_test,
+                             const BackdoorTrigger& trigger,
+                             std::size_t batch_size) {
+  // Keep only samples whose true class is not the trigger target, so
+  // "success" measures flips, not already-correct predictions.
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < clean_test.size(); ++i) {
+    if (clean_test.labels[i] != trigger.target_class) indices.push_back(i);
+  }
+  if (indices.empty()) return 0.0;
+  const DataSplit triggered =
+      apply_backdoor(clean_test.gather(indices), trigger);
+
+  std::size_t hits = 0;
+  for (std::size_t start = 0; start < triggered.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, triggered.size() - start);
+    std::vector<std::size_t> batch_indices(count);
+    for (std::size_t i = 0; i < count; ++i) batch_indices[i] = start + i;
+    const DataSplit batch = triggered.gather(batch_indices);
+    const nn::Tensor logits = model.forward(batch.features, false);
+    for (std::size_t b = 0; b < count; ++b) {
+      if (logits.argmax_row(b) ==
+          static_cast<std::size_t>(trigger.target_class)) {
+        ++hits;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(triggered.size());
+}
+
+double targeted_misclassification_rate(nn::Model& model,
+                                       const DataSplit& split,
+                                       std::int32_t source_class,
+                                       std::int32_t target_class,
+                                       std::size_t batch_size) {
+  std::vector<std::size_t> source_indices;
+  for (std::size_t i = 0; i < split.size(); ++i) {
+    if (split.labels[i] == source_class) source_indices.push_back(i);
+  }
+  if (source_indices.empty()) return 0.0;
+
+  std::size_t hits = 0;
+  for (std::size_t start = 0; start < source_indices.size();
+       start += batch_size) {
+    const std::size_t count =
+        std::min(batch_size, source_indices.size() - start);
+    const std::span<const std::size_t> indices(source_indices.data() + start,
+                                               count);
+    const DataSplit batch = split.gather(indices);
+    const nn::Tensor logits = model.forward(batch.features, /*training=*/false);
+    for (std::size_t b = 0; b < count; ++b) {
+      if (logits.argmax_row(b) == static_cast<std::size_t>(target_class)) {
+        ++hits;
+      }
+    }
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(source_indices.size());
+}
+
+}  // namespace tanglefl::data

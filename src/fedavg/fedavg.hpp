@@ -1,0 +1,92 @@
+// Federated averaging baseline (McMahan et al.), the comparison system in
+// Figs. 3 and 4: a central server distributes the global model, a sampled
+// client fraction trains locally, and the server aggregates the returned
+// parameters weighted by local sample counts.
+//
+// The server optionally aggregates with Krum / Multi-Krum (Section II-A's
+// byzantine-tolerant rule) and supports the same poisoning attacks as the
+// tangle simulation, so the centralized defences can be compared against
+// the tangle's decentralized one under identical adversaries.
+#pragma once
+
+#include "core/metrics.hpp"
+#include "core/simulation.hpp"
+#include "data/dataset.hpp"
+#include "data/poison.hpp"
+#include "data/training.hpp"
+#include "nn/model.hpp"
+#include "nn/params.hpp"
+#include "support/thread_pool.hpp"
+
+namespace tanglefl::fedavg {
+
+enum class Aggregation {
+  kWeightedAverage,  // classic FedAvg
+  kKrum,             // select the single Krum winner
+  kMultiKrum,        // average the multi_k best by Krum score
+};
+
+struct FedAvgConfig {
+  std::size_t rounds = 50;
+  std::size_t clients_per_round = 10;
+  std::size_t eval_every = 5;
+  double eval_nodes_fraction = 0.1;
+  data::TrainConfig training;
+  data::LabelFlip flip{3, 8};  // attack metric tracked for parity
+
+  Aggregation aggregation = Aggregation::kWeightedAverage;
+  // Byzantine count assumed by (Multi-)Krum; clamped internally.
+  std::size_t krum_byzantine_f = 2;
+  std::size_t multi_k = 3;
+
+  // Adversary model mirroring core::SimulationConfig.
+  core::AttackType attack = core::AttackType::kNone;
+  double malicious_fraction = 0.0;
+  std::uint64_t attack_start_round = 0;
+
+  std::uint64_t seed = 1;
+  std::size_t threads = 1;
+};
+
+class FedAvgServer {
+ public:
+  /// The dataset and factory must outlive the server.
+  FedAvgServer(const data::FederatedDataset& dataset,
+               nn::ModelFactory factory, FedAvgConfig config);
+
+  /// Runs all configured rounds; returns the evaluation history.
+  core::RunResult run();
+
+  /// Advances one round (1-based). Returns the number of clients that
+  /// contributed an update.
+  std::size_t run_round(std::uint64_t round);
+
+  /// Evaluates the current global model like the tangle evaluation does.
+  core::RoundRecord evaluate(std::uint64_t round);
+
+  const nn::ParamVector& global_params() const noexcept { return global_; }
+  const std::vector<std::size_t>& malicious_users() const noexcept {
+    return malicious_users_;
+  }
+
+ private:
+  bool attack_active(std::uint64_t round) const noexcept;
+  bool is_malicious(std::size_t user) const noexcept;
+
+  const data::FederatedDataset* dataset_;
+  nn::ModelFactory factory_;
+  FedAvgConfig config_;
+  Rng master_rng_;
+  ThreadPool pool_;
+  nn::ParamVector global_;
+  std::vector<std::size_t> malicious_users_;    // sorted
+  std::vector<data::UserData> poisoned_users_;  // parallel (label flip)
+};
+
+/// Convenience wrapper: construct, run, and label a baseline run.
+core::RunResult run_fedavg(const data::FederatedDataset& dataset,
+                           nn::ModelFactory factory,
+                           const FedAvgConfig& config,
+                           std::string label = "fedavg");
+
+}  // namespace tanglefl::fedavg

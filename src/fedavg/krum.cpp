@@ -1,0 +1,82 @@
+#include "fedavg/krum.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace tanglefl::fedavg {
+
+KrumResult krum_select(std::span<const nn::ParamVector> updates,
+                       std::size_t byzantine_f, std::size_t multi_k) {
+  const std::size_t n = updates.size();
+  if (n == 0) throw std::invalid_argument("krum_select: no updates");
+  for (const auto& update : updates) {
+    if (update.size() != updates.front().size()) {
+      throw std::invalid_argument("krum_select: size mismatch");
+    }
+  }
+
+  KrumResult result;
+  result.scores.assign(n, 0.0);
+  if (n == 1) {
+    result.selected = {0};
+    return result;
+  }
+
+  // Pairwise squared distances.
+  std::vector<double> distance(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      const auto& a = updates[i];
+      const auto& b = updates[j];
+      for (std::size_t k = 0; k < a.size(); ++k) {
+        const double d = static_cast<double>(a[k]) - b[k];
+        acc += d * d;
+      }
+      distance[i * n + j] = acc;
+      distance[j * n + i] = acc;
+    }
+  }
+
+  // Each update's score sums its n - f - 2 closest neighbour distances
+  // (clamped to at least one neighbour so small batches still rank).
+  const std::size_t raw_neighbours =
+      n > byzantine_f + 2 ? n - byzantine_f - 2 : 1;
+  const std::size_t neighbours = std::min(raw_neighbours, n - 1);
+  std::vector<double> row(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) row[count++] = distance[i * n + j];
+    }
+    std::nth_element(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(neighbours - 1),
+                     row.end());
+    double score = 0.0;
+    for (std::size_t k = 0; k < neighbours; ++k) score += row[k];
+    result.scores[i] = score;
+  }
+
+  // Select the multi_k lowest scores, best first.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.scores[a] < result.scores[b];
+  });
+  order.resize(std::min(std::max<std::size_t>(1, multi_k), n));
+  result.selected = std::move(order);
+  return result;
+}
+
+nn::ParamVector krum_aggregate(std::span<const nn::ParamVector> updates,
+                               std::size_t byzantine_f, std::size_t multi_k) {
+  const KrumResult result = krum_select(updates, byzantine_f, multi_k);
+  std::vector<const nn::ParamVector*> selected;
+  selected.reserve(result.selected.size());
+  for (const std::size_t i : result.selected) {
+    selected.push_back(&updates[i]);
+  }
+  return nn::average_params(selected);
+}
+
+}  // namespace tanglefl::fedavg

@@ -1,0 +1,41 @@
+// Krum and Multi-Krum (Blanchard et al., "Machine Learning with
+// Adversaries", NeurIPS 2017) — the median-based byzantine-tolerant
+// aggregation rule the paper discusses as the standard defence for
+// centralized federated learning (Section II-A), and the defence
+// blockchain-FL systems bolt onto gradient batches (Section II-B).
+//
+// Krum scores every candidate update by the sum of squared distances to
+// its n - f - 2 nearest neighbours and selects the lowest-scoring one;
+// Multi-Krum selects the m best and averages them. Tolerates up to f
+// byzantine updates per batch when n >= 2f + 3.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/params.hpp"
+
+namespace tanglefl::fedavg {
+
+struct KrumResult {
+  // Indices of the selected updates, best (lowest score) first.
+  std::vector<std::size_t> selected;
+  // Krum score per input update (sum of squared distances to the
+  // n - f - 2 nearest neighbours).
+  std::vector<double> scores;
+};
+
+/// Scores all updates and selects the `multi_k` best. Requires at least
+/// one update; `byzantine_f` is clamped so that every update keeps at
+/// least one neighbour in its score.
+KrumResult krum_select(std::span<const nn::ParamVector> updates,
+                       std::size_t byzantine_f, std::size_t multi_k = 1);
+
+/// Convenience: runs krum_select and returns the unweighted average of the
+/// selected updates (plain Krum for multi_k == 1).
+nn::ParamVector krum_aggregate(std::span<const nn::ParamVector> updates,
+                               std::size_t byzantine_f,
+                               std::size_t multi_k = 1);
+
+}  // namespace tanglefl::fedavg

@@ -1,0 +1,226 @@
+#include <cassert>
+#include <cmath>
+
+#include "nn/layer.hpp"
+#include "nn/ops.hpp"
+
+namespace tanglefl::nn {
+namespace {
+
+inline float sigmoid(float x) noexcept { return 1.0f / (1.0f + std::exp(-x)); }
+
+/// Copies timestep `t` of a (batch, seq, dim) tensor into (batch, dim).
+Tensor slice_timestep(const Tensor& x, std::size_t t) {
+  const std::size_t batch = x.dim(0), dim = x.dim(2);
+  Tensor out({batch, dim});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t d = 0; d < dim; ++d) out.at(b, d) = x.at(b, t, d);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Embedding
+
+Embedding::Embedding(std::size_t vocab_size, std::size_t dim)
+    : vocab_size_(vocab_size),
+      dim_(dim),
+      weight_({vocab_size, dim}),
+      dweight_({vocab_size, dim}) {}
+
+void Embedding::init(Rng& rng) {
+  for (auto& w : weight_.values()) {
+    w = static_cast<float>(rng.normal()) * 0.1f;
+  }
+}
+
+Tensor Embedding::forward(const Tensor& input, bool training) {
+  (void)training;
+  assert(input.rank() == 2);
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0), seq = input.dim(1);
+  Tensor output({batch, seq, dim_});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t t = 0; t < seq; ++t) {
+      const auto token = static_cast<std::size_t>(input.at(b, t));
+      assert(token < vocab_size_);
+      for (std::size_t d = 0; d < dim_; ++d) {
+        output.at(b, t, d) = weight_.at(token, d);
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Embedding::backward(const Tensor& grad_output) {
+  const std::size_t batch = cached_input_.dim(0), seq = cached_input_.dim(1);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t t = 0; t < seq; ++t) {
+      const auto token = static_cast<std::size_t>(cached_input_.at(b, t));
+      for (std::size_t d = 0; d < dim_; ++d) {
+        dweight_.at(token, d) += grad_output.at(b, t, d);
+      }
+    }
+  }
+  // Token ids are not differentiable; propagate zeros of the input shape.
+  return Tensor(cached_input_.shape());
+}
+
+std::unique_ptr<Layer> Embedding::clone() const {
+  auto copy = std::make_unique<Embedding>(vocab_size_, dim_);
+  copy->weight_ = weight_;
+  return copy;
+}
+
+// ------------------------------------------------------------------ LSTM
+
+LSTM::LSTM(std::size_t input_dim, std::size_t hidden_dim)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      w_input_({input_dim, 4 * hidden_dim}),
+      w_hidden_({hidden_dim, 4 * hidden_dim}),
+      bias_({4 * hidden_dim}),
+      dw_input_({input_dim, 4 * hidden_dim}),
+      dw_hidden_({hidden_dim, 4 * hidden_dim}),
+      dbias_({4 * hidden_dim}) {}
+
+void LSTM::init(Rng& rng) {
+  const float scale_x = std::sqrt(1.0f / static_cast<float>(input_dim_));
+  const float scale_h = std::sqrt(1.0f / static_cast<float>(hidden_dim_));
+  for (auto& w : w_input_.values()) {
+    w = static_cast<float>(rng.normal()) * scale_x;
+  }
+  for (auto& w : w_hidden_.values()) {
+    w = static_cast<float>(rng.normal()) * scale_h;
+  }
+  bias_.zero();
+  // Forget-gate bias of 1 is the standard trick for stable early training.
+  for (std::size_t h = 0; h < hidden_dim_; ++h) {
+    bias_[hidden_dim_ + h] = 1.0f;
+  }
+}
+
+Tensor LSTM::forward(const Tensor& input, bool training) {
+  (void)training;
+  assert(input.rank() == 3 && input.dim(2) == input_dim_);
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0), seq = input.dim(1);
+  const std::size_t h4 = 4 * hidden_dim_;
+
+  gates_.assign(seq, Tensor({batch, h4}));
+  hidden_.assign(seq, Tensor({batch, hidden_dim_}));
+  cell_.assign(seq, Tensor({batch, hidden_dim_}));
+
+  Tensor h_prev({batch, hidden_dim_});
+  Tensor c_prev({batch, hidden_dim_});
+  Tensor pre_x({batch, h4});
+  Tensor pre_h({batch, h4});
+  Tensor output({batch, seq, hidden_dim_});
+
+  for (std::size_t t = 0; t < seq; ++t) {
+    const Tensor x_t = slice_timestep(input, t);
+    ops::matmul(x_t, w_input_, pre_x);
+    ops::matmul(h_prev, w_hidden_, pre_h);
+    Tensor& g = gates_[t];
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t j = 0; j < h4; ++j) {
+        const float pre = pre_x.at(b, j) + pre_h.at(b, j) + bias_[j];
+        // Gate layout: [input | forget | cell | output].
+        g.at(b, j) =
+            (j / hidden_dim_ == 2) ? std::tanh(pre) : sigmoid(pre);
+      }
+      for (std::size_t h = 0; h < hidden_dim_; ++h) {
+        const float i_g = g.at(b, h);
+        const float f_g = g.at(b, hidden_dim_ + h);
+        const float c_g = g.at(b, 2 * hidden_dim_ + h);
+        const float o_g = g.at(b, 3 * hidden_dim_ + h);
+        const float c_new = f_g * c_prev.at(b, h) + i_g * c_g;
+        cell_[t].at(b, h) = c_new;
+        const float h_new = o_g * std::tanh(c_new);
+        hidden_[t].at(b, h) = h_new;
+        output.at(b, t, h) = h_new;
+      }
+    }
+    h_prev = hidden_[t];
+    c_prev = cell_[t];
+  }
+  return output;
+}
+
+Tensor LSTM::backward(const Tensor& grad_output) {
+  const std::size_t batch = cached_input_.dim(0), seq = cached_input_.dim(1);
+  const std::size_t h4 = 4 * hidden_dim_;
+  assert(grad_output.rank() == 3 && grad_output.dim(1) == seq &&
+         grad_output.dim(2) == hidden_dim_);
+
+  Tensor dx(cached_input_.shape());
+  Tensor dh_next({batch, hidden_dim_});
+  Tensor dc_next({batch, hidden_dim_});
+  Tensor dgates({batch, h4});
+  Tensor dx_t({batch, input_dim_});
+  Tensor dh_prev({batch, hidden_dim_});
+  Tensor dwx({input_dim_, h4});
+  Tensor dwh({hidden_dim_, h4});
+  const Tensor zero_state({batch, hidden_dim_});
+
+  for (std::size_t tt = seq; tt > 0; --tt) {
+    const std::size_t t = tt - 1;
+    const Tensor& g = gates_[t];
+    const Tensor& c_t = cell_[t];
+    const Tensor& c_prev = (t == 0) ? zero_state : cell_[t - 1];
+    const Tensor& h_prev = (t == 0) ? zero_state : hidden_[t - 1];
+
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t h = 0; h < hidden_dim_; ++h) {
+        const float i_g = g.at(b, h);
+        const float f_g = g.at(b, hidden_dim_ + h);
+        const float c_g = g.at(b, 2 * hidden_dim_ + h);
+        const float o_g = g.at(b, 3 * hidden_dim_ + h);
+        const float tanh_c = std::tanh(c_t.at(b, h));
+
+        const float dh = grad_output.at(b, t, h) + dh_next.at(b, h);
+        const float dc =
+            dc_next.at(b, h) + dh * o_g * (1.0f - tanh_c * tanh_c);
+
+        // Derivatives through the gate nonlinearities.
+        dgates.at(b, h) = dc * c_g * i_g * (1.0f - i_g);
+        dgates.at(b, hidden_dim_ + h) =
+            dc * c_prev.at(b, h) * f_g * (1.0f - f_g);
+        dgates.at(b, 2 * hidden_dim_ + h) = dc * i_g * (1.0f - c_g * c_g);
+        dgates.at(b, 3 * hidden_dim_ + h) =
+            dh * tanh_c * o_g * (1.0f - o_g);
+
+        dc_next.at(b, h) = dc * f_g;
+      }
+    }
+
+    const Tensor x_t = slice_timestep(cached_input_, t);
+    ops::matmul_trans_a(x_t, dgates, dwx);
+    dw_input_.add(dwx);
+    ops::matmul_trans_a(h_prev, dgates, dwh);
+    dw_hidden_.add(dwh);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t j = 0; j < h4; ++j) dbias_[j] += dgates.at(b, j);
+    }
+    ops::matmul_trans_b(dgates, w_input_, dx_t);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t d = 0; d < input_dim_; ++d) {
+        dx.at(b, t, d) = dx_t.at(b, d);
+      }
+    }
+    ops::matmul_trans_b(dgates, w_hidden_, dh_prev);
+    dh_next = dh_prev;
+  }
+  return dx;
+}
+
+std::unique_ptr<Layer> LSTM::clone() const {
+  auto copy = std::make_unique<LSTM>(input_dim_, hidden_dim_);
+  copy->w_input_ = w_input_;
+  copy->w_hidden_ = w_hidden_;
+  copy->bias_ = bias_;
+  return copy;
+}
+
+}  // namespace tanglefl::nn

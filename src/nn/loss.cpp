@@ -1,0 +1,66 @@
+#include "nn/loss.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/ops.hpp"
+
+namespace tanglefl::nn {
+namespace {
+
+constexpr float kLogFloor = 1e-12f;
+
+}  // namespace
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int32_t> labels) {
+  assert(logits.rank() == 2 && logits.dim(0) == labels.size());
+  const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+
+  LossResult result;
+  ops::softmax_rows(logits, result.grad);  // grad currently holds softmax
+  double total_loss = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto label = static_cast<std::size_t>(labels[b]);
+    assert(label < classes);
+    const float p = result.grad.at(b, label);
+    total_loss -= std::log(p > kLogFloor ? p : kLogFloor);
+  }
+  // d(mean NLL)/d(logits) = (softmax - onehot) / batch.
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto label = static_cast<std::size_t>(labels[b]);
+    for (std::size_t c = 0; c < classes; ++c) {
+      float& g = result.grad.at(b, c);
+      g = (g - (c == label ? 1.0f : 0.0f)) * inv_batch;
+    }
+  }
+  result.loss = static_cast<float>(total_loss / static_cast<double>(batch));
+  return result;
+}
+
+float softmax_cross_entropy_loss(const Tensor& logits,
+                                 std::span<const std::int32_t> labels) {
+  assert(logits.rank() == 2 && logits.dim(0) == labels.size());
+  const std::size_t batch = logits.dim(0);
+  Tensor probs;
+  ops::softmax_rows(logits, probs);
+  double total_loss = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float p = probs.at(b, static_cast<std::size_t>(labels[b]));
+    total_loss -= std::log(p > kLogFloor ? p : kLogFloor);
+  }
+  return static_cast<float>(total_loss / static_cast<double>(batch));
+}
+
+double accuracy(const Tensor& logits, std::span<const std::int32_t> labels) {
+  assert(logits.rank() == 2 && logits.dim(0) == labels.size());
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < labels.size(); ++b) {
+    if (logits.argmax_row(b) == static_cast<std::size_t>(labels[b])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace tanglefl::nn

@@ -1,0 +1,29 @@
+// Classification loss and metrics. Softmax is fused with cross-entropy so
+// the backward pass is the numerically stable (softmax - onehot) / batch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/tensor.hpp"
+
+namespace tanglefl::nn {
+
+struct LossResult {
+  float loss = 0.0f;   // mean negative log-likelihood over the batch
+  Tensor grad;         // d(loss)/d(logits), same shape as logits
+};
+
+/// Mean softmax cross-entropy of logits(batch, classes) against integer
+/// labels. Labels must be in [0, classes).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int32_t> labels);
+
+/// Loss only (no gradient allocation); used on validation paths.
+float softmax_cross_entropy_loss(const Tensor& logits,
+                                 std::span<const std::int32_t> labels);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, std::span<const std::int32_t> labels);
+
+}  // namespace tanglefl::nn

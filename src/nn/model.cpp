@@ -1,0 +1,126 @@
+#include "nn/model.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace tanglefl::nn {
+
+Model& Model::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+void Model::init(Rng& rng) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Rng child = rng.split(i + 1);
+    layers_[i]->init(child);
+  }
+}
+
+Tensor Model::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+Tensor Model::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Model::zero_gradients() {
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->gradients()) g->zero();
+  }
+}
+
+std::size_t Model::parameter_count() const {
+  std::size_t count = 0;
+  for (const auto& layer : layers_) {
+    for (const Tensor* p : const_cast<Layer&>(*layer).parameters()) {
+      count += p->size();
+    }
+  }
+  return count;
+}
+
+std::vector<float> Model::get_parameters() const {
+  std::vector<float> flat;
+  flat.reserve(parameter_count());
+  for (const auto& layer : layers_) {
+    for (const Tensor* p : const_cast<Layer&>(*layer).parameters()) {
+      const auto values = p->values();
+      flat.insert(flat.end(), values.begin(), values.end());
+    }
+  }
+  return flat;
+}
+
+void Model::set_parameters(std::span<const float> flat) {
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->parameters()) {
+      if (offset + p->size() > flat.size()) {
+        throw std::invalid_argument("set_parameters: vector too short");
+      }
+      auto values = p->values();
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = flat[offset + i];
+      }
+      offset += p->size();
+    }
+  }
+  if (offset != flat.size()) {
+    throw std::invalid_argument("set_parameters: vector size mismatch");
+  }
+}
+
+std::vector<float> Model::get_gradients() const {
+  std::vector<float> flat;
+  flat.reserve(parameter_count());
+  for (const auto& layer : layers_) {
+    for (const Tensor* g : const_cast<Layer&>(*layer).gradients()) {
+      const auto values = g->values();
+      flat.insert(flat.end(), values.begin(), values.end());
+    }
+  }
+  return flat;
+}
+
+std::vector<Tensor*> Model::parameter_tensors() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Model::gradient_tensors() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->gradients()) out.push_back(g);
+  }
+  return out;
+}
+
+Model Model::clone() const {
+  Model copy;
+  for (const auto& layer : layers_) copy.add(layer->clone());
+  return copy;
+}
+
+std::string Model::summary() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i > 0) out << " -> ";
+    out << layers_[i]->name();
+  }
+  out << " (" << parameter_count() << " params)";
+  return out.str();
+}
+
+}  // namespace tanglefl::nn

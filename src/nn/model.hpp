@@ -1,0 +1,81 @@
+// Sequential model container: owns a stack of layers, wires forward /
+// backward through them, and exposes the flat parameter-vector view that
+// the ledger layer (tangle transactions, FedAvg aggregation) operates on.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/tensor.hpp"
+#include "support/rng.hpp"
+
+namespace tanglefl::nn {
+
+class Model {
+ public:
+  Model() = default;
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  /// Appends a layer; returns a reference for chaining.
+  Model& add(std::unique_ptr<Layer> layer);
+
+  /// Constructs a layer in place.
+  template <typename L, typename... Args>
+  Model& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  /// Randomly initializes every layer from independent child streams.
+  void init(Rng& rng);
+
+  /// Runs the full stack; `training` toggles dropout.
+  Tensor forward(const Tensor& input, bool training = false);
+
+  /// Backpropagates d(loss)/d(output); parameter gradients accumulate into
+  /// each layer's gradient tensors. Returns d(loss)/d(input).
+  Tensor backward(const Tensor& grad_output);
+
+  /// Clears all accumulated gradients.
+  void zero_gradients();
+
+  /// Total number of scalar parameters.
+  std::size_t parameter_count() const;
+
+  /// Copies all parameters into one flat vector (layer order, tensor order).
+  [[nodiscard]] std::vector<float> get_parameters() const;
+
+  /// Overwrites all parameters from a flat vector; the size must match
+  /// parameter_count().
+  void set_parameters(std::span<const float> flat);
+
+  /// Copies all accumulated gradients into one flat vector.
+  [[nodiscard]] std::vector<float> get_gradients() const;
+
+  /// Mutable access to per-layer parameter/gradient tensors, in order.
+  std::vector<Tensor*> parameter_tensors();
+  std::vector<Tensor*> gradient_tensors();
+
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  /// Deep copy (architecture + current parameters).
+  [[nodiscard]] Model clone() const;
+
+  /// One-line architecture summary, e.g. "Conv2D -> ReLU -> ... (12345 params)".
+  std::string summary() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Builds a fresh, uninitialized model of some fixed architecture. Nodes
+/// share a factory so every participant trains the same model family, as in
+/// federated learning where the server fixes the architecture up front.
+using ModelFactory = std::function<Model()>;
+
+}  // namespace tanglefl::nn

@@ -1,0 +1,49 @@
+#include "nn/model_zoo.hpp"
+
+#include <cassert>
+
+namespace tanglefl::nn {
+
+Model make_image_cnn(const ImageCnnConfig& config) {
+  assert(config.image_size >= 8 && "image too small for two pooling stages");
+  Model model;
+  const std::size_t pad = config.kernel / 2;  // "same" convolutions
+  model.emplace<Conv2D>(1, config.conv1_channels, config.kernel, 1, pad);
+  model.emplace<ReLU>();
+  model.emplace<MaxPool2D>(2);
+  model.emplace<Conv2D>(config.conv1_channels, config.conv2_channels,
+                        config.kernel, 1, pad);
+  model.emplace<ReLU>();
+  model.emplace<MaxPool2D>(2);
+  model.emplace<Flatten>();
+  const std::size_t spatial = config.image_size / 4;
+  model.emplace<Linear>(config.conv2_channels * spatial * spatial,
+                        config.hidden);
+  model.emplace<ReLU>();
+  if (config.dropout > 0.0) model.emplace<Dropout>(config.dropout);
+  model.emplace<Linear>(config.hidden, config.num_classes);
+  return model;
+}
+
+Model make_char_lstm(const CharLstmConfig& config) {
+  assert(config.lstm_layers >= 1);
+  Model model;
+  model.emplace<Embedding>(config.vocab_size, config.embedding_dim);
+  model.emplace<LSTM>(config.embedding_dim, config.hidden_dim);
+  for (std::size_t i = 1; i < config.lstm_layers; ++i) {
+    model.emplace<LSTM>(config.hidden_dim, config.hidden_dim);
+  }
+  model.emplace<LastTimestep>();
+  model.emplace<Linear>(config.hidden_dim, config.vocab_size);
+  return model;
+}
+
+Model make_mlp(std::size_t inputs, std::size_t hidden, std::size_t classes) {
+  Model model;
+  model.emplace<Linear>(inputs, hidden);
+  model.emplace<ReLU>();
+  model.emplace<Linear>(hidden, classes);
+  return model;
+}
+
+}  // namespace tanglefl::nn

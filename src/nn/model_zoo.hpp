@@ -1,0 +1,43 @@
+// Reference model families mirroring the LEAF models the paper trains:
+// a small CNN for the (F)EMNIST-style image task and an embedding +
+// stacked-LSTM classifier for the Shakespeare-style next-character task.
+// Dimensions are configurable so experiments can run laptop-scale while
+// keeping the paper's architecture shape.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/model.hpp"
+
+namespace tanglefl::nn {
+
+struct ImageCnnConfig {
+  std::size_t image_size = 14;    // square input, single channel
+  std::size_t num_classes = 10;
+  std::size_t conv1_channels = 8;
+  std::size_t conv2_channels = 16;
+  std::size_t kernel = 3;
+  std::size_t hidden = 64;        // fully connected layer width
+  double dropout = 0.0;
+};
+
+/// Conv -> ReLU -> Pool -> Conv -> ReLU -> Pool -> Flatten -> FC -> ReLU
+/// [-> Dropout] -> FC(num_classes). A scaled-down LEAF FEMNIST CNN.
+Model make_image_cnn(const ImageCnnConfig& config);
+
+struct CharLstmConfig {
+  std::size_t vocab_size = 40;
+  std::size_t seq_length = 20;
+  std::size_t embedding_dim = 8;
+  std::size_t hidden_dim = 32;
+  std::size_t lstm_layers = 2;    // "stacked LSTM" in the paper
+};
+
+/// Embedding -> LSTM x layers -> LastTimestep -> FC(vocab). Predicts the
+/// next character from a fixed-length window, as in LEAF Shakespeare.
+Model make_char_lstm(const CharLstmConfig& config);
+
+/// Tiny multilayer perceptron for unit tests and the quickstart example.
+Model make_mlp(std::size_t inputs, std::size_t hidden, std::size_t classes);
+
+}  // namespace tanglefl::nn

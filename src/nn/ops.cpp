@@ -1,0 +1,224 @@
+#include "nn/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace tanglefl::nn::ops {
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_trans_a(const Tensor& a, const Tensor& b, Tensor& c) {
+  assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  assert(b.dim(0) == m && c.dim(0) == k && c.dim(1) == n);
+  c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      float* crow = pc + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_trans_b(const Tensor& a, const Tensor& b, Tensor& c) {
+  assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  assert(b.dim(1) == k && c.dim(0) == m && c.dim(1) == n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[i * n + j] = acc;
+    }
+  }
+}
+
+void add_row_bias(Tensor& x, const Tensor& bias) {
+  assert(x.rank() == 2 && bias.rank() == 1 && bias.dim(0) == x.dim(1));
+  const std::size_t rows = x.dim(0), cols = x.dim(1);
+  float* px = x.data();
+  const float* pb = bias.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) px[r * cols + c] += pb[c];
+  }
+}
+
+void softmax_rows(const Tensor& logits, Tensor& out) {
+  assert(logits.rank() == 2);
+  if (&out != &logits) out = logits;
+  const std::size_t rows = out.dim(0), cols = out.dim(1);
+  float* p = out.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = p + r * cols;
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (std::size_t c = 0; c < cols; ++c) max_v = std::max(max_v, row[c]);
+    float total = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      total += row[c];
+    }
+    const float inv = 1.0f / total;
+    for (std::size_t c = 0; c < cols; ++c) row[c] *= inv;
+  }
+}
+
+void conv2d_forward(const Tensor& x, const Tensor& weights, const Tensor& bias,
+                    const Conv2DShape& shape, Tensor& y) {
+  assert(x.rank() == 4 && weights.rank() == 4 && y.rank() == 4);
+  const std::size_t batch = x.dim(0);
+  const std::size_t ic = shape.in_channels, oc = shape.out_channels;
+  const std::size_t h = x.dim(2), w = x.dim(3);
+  const std::size_t k = shape.kernel, stride = shape.stride, pad = shape.padding;
+  const std::size_t oh = shape.out_extent(h), ow = shape.out_extent(w);
+  assert(x.dim(1) == ic && weights.dim(0) == oc && weights.dim(1) == ic);
+  assert(y.dim(0) == batch && y.dim(1) == oc && y.dim(2) == oh && y.dim(3) == ow);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < oc; ++o) {
+      const float bo = bias[o];
+      for (std::size_t yy = 0; yy < oh; ++yy) {
+        for (std::size_t xx = 0; xx < ow; ++xx) {
+          float acc = bo;
+          for (std::size_t c = 0; c < ic; ++c) {
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const std::ptrdiff_t in_y =
+                  static_cast<std::ptrdiff_t>(yy * stride + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (in_y < 0 || in_y >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::ptrdiff_t in_x =
+                    static_cast<std::ptrdiff_t>(xx * stride + kx) -
+                    static_cast<std::ptrdiff_t>(pad);
+                if (in_x < 0 || in_x >= static_cast<std::ptrdiff_t>(w)) continue;
+                acc += x.at(b, c, static_cast<std::size_t>(in_y),
+                            static_cast<std::size_t>(in_x)) *
+                       weights.at(o, c, ky, kx);
+              }
+            }
+          }
+          y.at(b, o, yy, xx) = acc;
+        }
+      }
+    }
+  }
+}
+
+void conv2d_backward(const Tensor& x, const Tensor& weights,
+                     const Conv2DShape& shape, const Tensor& dy, Tensor& dx,
+                     Tensor& dw, Tensor& dbias) {
+  const std::size_t batch = x.dim(0);
+  const std::size_t ic = shape.in_channels, oc = shape.out_channels;
+  const std::size_t h = x.dim(2), w = x.dim(3);
+  const std::size_t k = shape.kernel, stride = shape.stride, pad = shape.padding;
+  const std::size_t oh = shape.out_extent(h), ow = shape.out_extent(w);
+  dx.zero();
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < oc; ++o) {
+      for (std::size_t yy = 0; yy < oh; ++yy) {
+        for (std::size_t xx = 0; xx < ow; ++xx) {
+          const float g = dy.at(b, o, yy, xx);
+          if (g == 0.0f) continue;
+          dbias[o] += g;
+          for (std::size_t c = 0; c < ic; ++c) {
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const std::ptrdiff_t in_y =
+                  static_cast<std::ptrdiff_t>(yy * stride + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (in_y < 0 || in_y >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::ptrdiff_t in_x =
+                    static_cast<std::ptrdiff_t>(xx * stride + kx) -
+                    static_cast<std::ptrdiff_t>(pad);
+                if (in_x < 0 || in_x >= static_cast<std::ptrdiff_t>(w)) continue;
+                const auto iy = static_cast<std::size_t>(in_y);
+                const auto ix = static_cast<std::size_t>(in_x);
+                dw.at(o, c, ky, kx) += g * x.at(b, c, iy, ix);
+                dx.at(b, c, iy, ix) += g * weights.at(o, c, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void maxpool2d_forward(const Tensor& x, std::size_t window, std::size_t stride,
+                       Tensor& y, std::vector<std::size_t>& argmax) {
+  assert(x.rank() == 4 && y.rank() == 4);
+  const std::size_t batch = x.dim(0), ch = x.dim(1);
+  const std::size_t h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = (h - window) / stride + 1;
+  const std::size_t ow = (w - window) / stride + 1;
+  assert(y.dim(0) == batch && y.dim(1) == ch && y.dim(2) == oh && y.dim(3) == ow);
+  argmax.assign(y.size(), 0);
+
+  std::size_t out_index = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      for (std::size_t yy = 0; yy < oh; ++yy) {
+        for (std::size_t xx = 0; xx < ow; ++xx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_index = 0;
+          for (std::size_t wy = 0; wy < window; ++wy) {
+            for (std::size_t wx = 0; wx < window; ++wx) {
+              const std::size_t iy = yy * stride + wy;
+              const std::size_t ix = xx * stride + wx;
+              const std::size_t flat = ((b * ch + c) * h + iy) * w + ix;
+              const float v = x[flat];
+              if (v > best) {
+                best = v;
+                best_index = flat;
+              }
+            }
+          }
+          y[out_index] = best;
+          argmax[out_index] = best_index;
+          ++out_index;
+        }
+      }
+    }
+  }
+}
+
+void maxpool2d_backward(const Tensor& dy, const std::vector<std::size_t>& argmax,
+                        Tensor& dx) {
+  assert(argmax.size() == dy.size());
+  dx.zero();
+  for (std::size_t i = 0; i < dy.size(); ++i) dx[argmax[i]] += dy[i];
+}
+
+}  // namespace tanglefl::nn::ops

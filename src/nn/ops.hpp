@@ -1,0 +1,60 @@
+// Structured tensor operations (GEMM variants, 2-D convolution, pooling,
+// softmax). Layers compose these; tests and micro-benchmarks exercise them
+// directly. All functions are pure with respect to their inputs and write
+// into caller-provided outputs where performance matters.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace tanglefl::nn::ops {
+
+/// C = A(m,k) * B(k,n). C must be preallocated to (m,n); it is overwritten.
+void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A^T(m,k) * B(m,n) -> (k,n). Used for weight gradients.
+void matmul_trans_a(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A(m,k) * B^T(n,k) -> (m,n). Used for input gradients.
+void matmul_trans_b(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Adds bias(n) to every row of x(m,n) in place.
+void add_row_bias(Tensor& x, const Tensor& bias);
+
+/// Row-wise softmax of logits(m,n), written into out (may alias logits).
+void softmax_rows(const Tensor& logits, Tensor& out);
+
+struct Conv2DShape {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 0;   // square kernel
+  std::size_t stride = 1;
+  std::size_t padding = 0;  // symmetric zero padding
+
+  /// Output spatial extent for an input extent `in`.
+  std::size_t out_extent(std::size_t in) const noexcept {
+    return (in + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+/// y(b, oc, oh, ow) = conv(x(b, ic, h, w), w(oc, ic, k, k)) + bias(oc).
+/// y must be preallocated; it is overwritten.
+void conv2d_forward(const Tensor& x, const Tensor& weights, const Tensor& bias,
+                    const Conv2DShape& shape, Tensor& y);
+
+/// Backward pass: given dy, accumulates into dw / dbias (must be
+/// pre-zeroed by the caller or accumulated deliberately) and overwrites dx.
+void conv2d_backward(const Tensor& x, const Tensor& weights,
+                     const Conv2DShape& shape, const Tensor& dy, Tensor& dx,
+                     Tensor& dw, Tensor& dbias);
+
+/// 2x2-style max pooling with a square window and equal stride. `argmax`
+/// records the flat input index of each output maximum for the backward
+/// pass; it must have y's element count.
+void maxpool2d_forward(const Tensor& x, std::size_t window, std::size_t stride,
+                       Tensor& y, std::vector<std::size_t>& argmax);
+
+/// Scatters dy back through the recorded argmax indices; dx is overwritten.
+void maxpool2d_backward(const Tensor& dy, const std::vector<std::size_t>& argmax,
+                        Tensor& dx);
+
+}  // namespace tanglefl::nn::ops

@@ -1,0 +1,93 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace tanglefl::nn {
+
+void SgdOptimizer::step(Model& model) {
+  const auto params = model.parameter_tensors();
+  const auto grads = model.gradient_tensors();
+
+  float clip_scale = 1.0f;
+  if (config_.grad_clip > 0.0) {
+    double norm_sq = 0.0;
+    for (const Tensor* g : grads) {
+      for (const float v : g->values()) {
+        norm_sq += static_cast<double>(v) * v;
+      }
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.grad_clip) {
+      clip_scale = static_cast<float>(config_.grad_clip / norm);
+    }
+  }
+
+  if (config_.momentum > 0.0 && velocity_.size() != params.size()) {
+    velocity_.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      velocity_[i].assign(params[i]->size(), 0.0f);
+    }
+  }
+
+  const auto lr = static_cast<float>(config_.learning_rate);
+  const auto mu = static_cast<float>(config_.momentum);
+  const auto wd = static_cast<float>(config_.weight_decay);
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto p = params[i]->values();
+    const auto g = grads[i]->values();
+    if (mu > 0.0f) {
+      auto& vel = velocity_[i];
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        const float grad = g[j] * clip_scale + wd * p[j];
+        vel[j] = mu * vel[j] + grad;
+        p[j] -= lr * vel[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        const float grad = g[j] * clip_scale + wd * p[j];
+        p[j] -= lr * grad;
+      }
+    }
+  }
+}
+
+void AdamOptimizer::step(Model& model) {
+  const auto params = model.parameter_tensors();
+  const auto grads = model.gradient_tensors();
+
+  if (first_moment_.size() != params.size()) {
+    first_moment_.resize(params.size());
+    second_moment_.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      first_moment_[i].assign(params[i]->size(), 0.0f);
+      second_moment_[i].assign(params[i]->size(), 0.0f);
+    }
+  }
+
+  ++steps_;
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(steps_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(steps_));
+  const auto lr = static_cast<float>(config_.learning_rate);
+  const auto b1 = static_cast<float>(config_.beta1);
+  const auto b2 = static_cast<float>(config_.beta2);
+  const auto eps = static_cast<float>(config_.epsilon);
+  const auto wd = static_cast<float>(config_.weight_decay);
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto p = params[i]->values();
+    const auto g = grads[i]->values();
+    auto& m = first_moment_[i];
+    auto& v = second_moment_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const float grad = g[j] + wd * p[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * grad;
+      v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+      const auto m_hat = static_cast<float>(m[j] / bias1);
+      const auto v_hat = static_cast<float>(v[j] / bias2);
+      p[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+    }
+  }
+}
+
+}  // namespace tanglefl::nn

@@ -1,0 +1,64 @@
+// Stochastic gradient descent with optional momentum and weight decay —
+// the optimizer used by both LEAF reference models the paper builds on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace tanglefl::nn {
+
+struct SgdConfig {
+  double learning_rate = 0.01;
+  double momentum = 0.0;      // 0 disables the velocity buffers
+  double weight_decay = 0.0;  // L2 penalty coefficient
+  double grad_clip = 0.0;     // 0 disables; otherwise clip global L2 norm
+};
+
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(SgdConfig config = {}) : config_(config) {}
+
+  /// Applies one update using the gradients currently accumulated in the
+  /// model, then leaves the gradients untouched (call zero_gradients()
+  /// between steps). Velocity buffers are sized lazily on first use.
+  void step(Model& model);
+
+  const SgdConfig& config() const noexcept { return config_; }
+  void set_learning_rate(double lr) noexcept { config_.learning_rate = lr; }
+
+ private:
+  SgdConfig config_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction — useful when tuning the
+/// harder recurrent tasks; the paper's experiments use plain SGD.
+struct AdamConfig {
+  double learning_rate = 0.001;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;
+};
+
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(AdamConfig config = {}) : config_(config) {}
+
+  /// One Adam update from the model's accumulated gradients. Moment
+  /// buffers are sized lazily; the step counter drives bias correction.
+  void step(Model& model);
+
+  const AdamConfig& config() const noexcept { return config_; }
+  std::uint64_t steps_taken() const noexcept { return steps_; }
+
+ private:
+  AdamConfig config_;
+  std::uint64_t steps_ = 0;
+  std::vector<std::vector<float>> first_moment_;
+  std::vector<std::vector<float>> second_moment_;
+};
+
+}  // namespace tanglefl::nn

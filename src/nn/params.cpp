@@ -1,0 +1,83 @@
+#include "nn/params.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace tanglefl::nn {
+
+ParamVector average_params(std::span<const ParamVector> params) {
+  std::vector<const ParamVector*> pointers;
+  pointers.reserve(params.size());
+  for (const auto& p : params) pointers.push_back(&p);
+  return average_params(pointers);
+}
+
+ParamVector average_params(std::span<const ParamVector* const> params) {
+  if (params.empty()) {
+    throw std::invalid_argument("average_params: no inputs");
+  }
+  const std::size_t n = params.front()->size();
+  std::vector<double> acc(n, 0.0);
+  for (const ParamVector* p : params) {
+    if (p->size() != n) {
+      throw std::invalid_argument("average_params: size mismatch");
+    }
+    for (std::size_t i = 0; i < n; ++i) acc[i] += (*p)[i];
+  }
+  ParamVector out(n);
+  const double inv = 1.0 / static_cast<double>(params.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(acc[i] * inv);
+  }
+  return out;
+}
+
+ParamVector weighted_average_params(std::span<const ParamVector> params,
+                                    std::span<const double> weights) {
+  if (params.empty() || params.size() != weights.size()) {
+    throw std::invalid_argument("weighted_average_params: bad inputs");
+  }
+  double total_weight = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument("weighted_average_params: negative weight");
+    }
+    total_weight += w;
+  }
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument("weighted_average_params: zero weight sum");
+  }
+  const std::size_t n = params.front().size();
+  std::vector<double> acc(n, 0.0);
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    if (params[k].size() != n) {
+      throw std::invalid_argument("weighted_average_params: size mismatch");
+    }
+    const double w = weights[k] / total_weight;
+    for (std::size_t i = 0; i < n; ++i) acc[i] += w * params[k][i];
+  }
+  ParamVector out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<float>(acc[i]);
+  return out;
+}
+
+double param_distance(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+void serialize_params(std::span<const float> params, ByteWriter& writer) {
+  writer.write_f32_span(params);
+}
+
+ParamVector deserialize_params(ByteReader& reader) {
+  return reader.read_f32_vector();
+}
+
+}  // namespace tanglefl::nn

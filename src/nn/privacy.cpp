@@ -1,0 +1,62 @@
+#include "nn/privacy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tanglefl::nn {
+
+ParamVector dp_sanitize(std::span<const float> params,
+                        std::span<const float> base, const DpConfig& config,
+                        Rng& rng) {
+  assert(params.size() == base.size());
+  assert(config.clip_norm > 0.0);
+
+  // Update norm.
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double d = static_cast<double>(params[i]) - base[i];
+    norm_sq += d * d;
+  }
+  const double norm = std::sqrt(norm_sq);
+  const double scale = norm > config.clip_norm ? config.clip_norm / norm : 1.0;
+  const double sigma = config.noise_multiplier * config.clip_norm;
+
+  ParamVector out(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double delta = (static_cast<double>(params[i]) - base[i]) * scale;
+    const double noise = sigma > 0.0 ? rng.normal(0.0, sigma) : 0.0;
+    out[i] = static_cast<float>(base[i] + delta + noise);
+  }
+  return out;
+}
+
+QuantizedParams quantize_params(std::span<const float> params) {
+  QuantizedParams quantized;
+  quantized.values.resize(params.size());
+  float max_abs = 0.0f;
+  for (const float v : params) max_abs = std::max(max_abs, std::abs(v));
+  quantized.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  const float inv_scale = 1.0f / quantized.scale;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const float scaled = params[i] * inv_scale;
+    const long rounded = std::lround(scaled);
+    quantized.values[i] = static_cast<std::int8_t>(
+        std::clamp(rounded, -127L, 127L));
+  }
+  return quantized;
+}
+
+ParamVector dequantize_params(const QuantizedParams& quantized) {
+  ParamVector out(quantized.values.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<float>(quantized.values[i]) * quantized.scale;
+  }
+  return out;
+}
+
+ParamVector quantize_roundtrip(std::span<const float> params) {
+  return dequantize_params(quantize_params(params));
+}
+
+}  // namespace tanglefl::nn

@@ -1,0 +1,53 @@
+// Publishing-side privacy and compression transforms.
+//
+// Differential privacy (Section III-D): the paper points to update noising
+// as the standard mitigation against reconstruction and linkability
+// attacks. dp_sanitize implements the Gaussian mechanism on a node's
+// *update* (the delta between its trained parameters and the base model it
+// trained from): the delta is clipped to a fixed L2 norm and perturbed
+// with isotropic Gaussian noise proportional to that clip.
+//
+// Quantization (Section III-C): the paper notes the communication cost of
+// shipping full parameter vectors. quantize_params implements uniform
+// symmetric 8-bit quantization, the simplest lossy payload compression
+// (4x smaller on the wire); dequantize_params restores floats.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/params.hpp"
+#include "support/rng.hpp"
+
+namespace tanglefl::nn {
+
+struct DpConfig {
+  double clip_norm = 1.0;         // L2 bound on the update
+  double noise_multiplier = 0.1;  // sigma = noise_multiplier * clip_norm
+};
+
+/// Returns base + clip(params - base, clip_norm) + N(0, sigma^2 I).
+/// With noise_multiplier == 0 this is pure update clipping. `params` and
+/// `base` must have equal sizes.
+ParamVector dp_sanitize(std::span<const float> params,
+                        std::span<const float> base, const DpConfig& config,
+                        Rng& rng);
+
+/// 8-bit symmetric uniform quantization of a parameter vector.
+struct QuantizedParams {
+  std::vector<std::int8_t> values;
+  float scale = 1.0f;  // dequantized = value * scale
+
+  std::size_t byte_size() const noexcept {
+    return values.size() * sizeof(std::int8_t) + sizeof(float);
+  }
+};
+
+QuantizedParams quantize_params(std::span<const float> params);
+ParamVector dequantize_params(const QuantizedParams& quantized);
+
+/// Round-trips through 8-bit quantization (the payload a node would
+/// publish when compressing on the wire).
+ParamVector quantize_roundtrip(std::span<const float> params);
+
+}  // namespace tanglefl::nn

@@ -1,0 +1,120 @@
+#include "support/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace tanglefl {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "unexpected positional argument: " + arg;
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";  // bare flag
+    }
+  }
+}
+
+std::optional<std::string> ArgParser::lookup(const std::string& name) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  consumed_.push_back(name);
+  return it->second;
+}
+
+void ArgParser::register_flag(const std::string& name, const std::string& type,
+                              const std::string& default_render,
+                              const std::string& help) {
+  docs_.push_back({name, type, default_render, help});
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t default_value,
+                                const std::string& help) {
+  register_flag(name, "int", std::to_string(default_value), help);
+  const auto raw = lookup(name);
+  if (!raw) return default_value;
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(raw->c_str(), &end, 10);
+  if (raw->empty() || *end != '\0') {
+    error_ = "--" + name + " expects an integer, got '" + *raw + "'";
+    return default_value;
+  }
+  return value;
+}
+
+double ArgParser::get_double(const std::string& name, double default_value,
+                             const std::string& help) {
+  register_flag(name, "float", std::to_string(default_value), help);
+  const auto raw = lookup(name);
+  if (!raw) return default_value;
+  char* end = nullptr;
+  const double value = std::strtod(raw->c_str(), &end);
+  if (raw->empty() || *end != '\0') {
+    error_ = "--" + name + " expects a number, got '" + *raw + "'";
+    return default_value;
+  }
+  return value;
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& default_value,
+                                  const std::string& help) {
+  register_flag(name, "string", default_value, help);
+  const auto raw = lookup(name);
+  return raw.value_or(default_value);
+}
+
+bool ArgParser::get_flag(const std::string& name, const std::string& help) {
+  register_flag(name, "flag", "false", help);
+  return lookup(name).has_value();
+}
+
+std::string ArgParser::help_text() const {
+  std::ostringstream out;
+  out << "Usage: " << program_ << " [flags]\n\nFlags:\n";
+  for (const auto& doc : docs_) {
+    out << "  --" << doc.name << " <" << doc.type << ">"
+        << "  (default: " << doc.default_render << ")\n      " << doc.help
+        << "\n";
+  }
+  return out.str();
+}
+
+bool ArgParser::should_exit() const {
+  // Flag any supplied option that no getter consumed.
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (std::find(consumed_.begin(), consumed_.end(), name) ==
+        consumed_.end()) {
+      error_ = "unknown flag: --" + name;
+    }
+  }
+  if (help_requested_) {
+    std::cout << help_text();
+    return true;
+  }
+  if (!error_.empty()) {
+    std::cerr << "error: " << error_ << "\n\n" << help_text();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tanglefl

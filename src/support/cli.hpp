@@ -1,0 +1,61 @@
+// Small command-line flag parser for the bench and example binaries.
+// Supports --name value and --name=value forms, typed lookups with
+// defaults, and generated --help text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tanglefl {
+
+class ArgParser {
+ public:
+  /// Parses argv. Unknown flags are collected and reported by `error()`.
+  ArgParser(int argc, const char* const* argv);
+
+  /// Registers a flag with its help text and default rendering, and returns
+  /// the user-supplied value (if any). Used via the typed getters below.
+  std::int64_t get_int(const std::string& name, std::int64_t default_value,
+                       const std::string& help);
+  double get_double(const std::string& name, double default_value,
+                    const std::string& help);
+  std::string get_string(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help);
+  bool get_flag(const std::string& name, const std::string& help);
+
+  /// True if --help was passed; the caller should print `help_text()` and
+  /// exit.
+  bool help_requested() const noexcept { return help_requested_; }
+
+  /// Non-empty when an unknown flag or a malformed value was seen.
+  const std::string& error() const noexcept { return error_; }
+
+  /// Usage text listing all flags registered so far.
+  std::string help_text() const;
+
+  /// Convenience: prints help / errors and returns true if the program
+  /// should exit early.
+  bool should_exit() const;
+
+ private:
+  std::optional<std::string> lookup(const std::string& name);
+  void register_flag(const std::string& name, const std::string& type,
+                     const std::string& default_render,
+                     const std::string& help);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> consumed_;
+  struct FlagDoc {
+    std::string name, type, default_render, help;
+  };
+  std::vector<FlagDoc> docs_;
+  bool help_requested_ = false;
+  mutable std::string error_;
+};
+
+}  // namespace tanglefl

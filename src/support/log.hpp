@@ -1,0 +1,45 @@
+// Leveled stderr logging with a process-global threshold. The simulation
+// engine logs per-round progress at Info; tests run with the threshold at
+// Warn to keep output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tanglefl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line ("[level] message") to stderr if `level` passes the
+/// threshold. Thread-safe (single write call per line).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) noexcept : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+
+}  // namespace tanglefl

@@ -1,0 +1,4 @@
+#include "support/serialize.hpp"
+
+// Header-only implementation; this translation unit exists so the library
+// has a stable archive member and the header stays self-contained.

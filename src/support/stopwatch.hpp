@@ -1,0 +1,24 @@
+// Monotonic wall-clock stopwatch for coarse experiment timing.
+#pragma once
+
+#include <chrono>
+
+namespace tanglefl {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tanglefl

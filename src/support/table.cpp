@@ -1,0 +1,100 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tanglefl {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  assert(row.size() <= header_.size());
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 < row.size()) out << "  ";
+    }
+    out << '\n';
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w;
+  total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+struct CsvWriter::Impl {
+  std::ofstream stream;
+  std::size_t columns = 0;
+
+  void write_row(const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) stream << ',';
+      stream << csv_escape(row[c]);
+    }
+    stream << '\n';
+  }
+};
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : impl_(new Impl) {
+  impl_->stream.open(path);
+  if (!impl_->stream) {
+    delete impl_;
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  impl_->columns = header.size();
+  impl_->write_row(header);
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  assert(row.size() == impl_->columns);
+  impl_->write_row(row);
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return out.str();
+}
+
+}  // namespace tanglefl

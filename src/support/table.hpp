@@ -1,0 +1,53 @@
+// Tabular output helpers for the benchmark harnesses: an aligned console
+// table printer (for reproducing the paper's tables/figure series in text
+// form) and a CSV writer (for plotting the same data externally).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tanglefl {
+
+/// Collects rows of strings and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; it may have fewer cells than the header (trailing cells
+  /// render empty) but not more.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table (header, separator, rows) to `out`.
+  void print(std::ostream& out) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Streams rows into a CSV file; fields containing separators or quotes are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void add_row(const std::vector<std::string>& row);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Formats a double with `digits` fractional digits (fixed notation).
+std::string format_fixed(double value, int digits);
+
+}  // namespace tanglefl

@@ -1,0 +1,76 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace tanglefl {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Run small loops inline: the queueing overhead dominates otherwise.
+  if (n == 1 || workers_.size() == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  const std::size_t lanes = std::min(workers_.size(), n);
+  std::vector<std::future<void>> pending;
+  pending.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    pending.push_back(submit([&, next, first_error] {
+      for (;;) {
+        const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= n || first_error->load(std::memory_order_relaxed)) return;
+        try {
+          body(i);
+        } catch (...) {
+          std::scoped_lock lock(error_mutex);
+          if (!first_error->exchange(true)) error = std::current_exception();
+          return;
+        }
+      }
+    }));
+  }
+  for (auto& f : pending) f.get();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace tanglefl

@@ -1,0 +1,57 @@
+#include "tangle/checkpoint.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace tanglefl::tangle {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x544e474c;  // "TNGL"
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+void save_ledger(const std::string& path, const Tangle& tangle,
+                 const ModelStore& store) {
+  ByteWriter writer;
+  writer.write_u32(kMagic);
+  writer.write_u32(kVersion);
+  tangle.serialize(writer);
+  store.serialize(writer);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_ledger: cannot open " + path);
+  const auto& bytes = writer.bytes();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("save_ledger: write failed: " + path);
+}
+
+Tangle load_ledger(const std::string& path, ModelStore& store) {
+  if (store.size() != 0) {
+    throw std::invalid_argument("load_ledger: store must be empty");
+  }
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("load_ledger: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw std::runtime_error("load_ledger: read failed: " + path);
+
+  ByteReader reader(bytes);
+  if (reader.read_u32() != kMagic) {
+    throw SerializeError("load_ledger: bad magic");
+  }
+  if (reader.read_u32() != kVersion) {
+    throw SerializeError("load_ledger: unsupported version");
+  }
+  Tangle tangle = Tangle::deserialize(reader);
+  ModelStore::deserialize_into(reader, store);
+  if (!reader.exhausted()) {
+    throw SerializeError("load_ledger: trailing bytes");
+  }
+  return tangle;
+}
+
+}  // namespace tanglefl::tangle

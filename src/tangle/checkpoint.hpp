@@ -1,0 +1,23 @@
+// Ledger checkpointing: saves/restores a (Tangle, ModelStore) pair to a
+// file, so long experiments (e.g. the 200-round pre-training phase of the
+// attack studies) can be snapshotted and resumed. The format is the binary
+// serialization of both structures behind a magic/version header.
+#pragma once
+
+#include <string>
+
+#include "tangle/model_store.hpp"
+#include "tangle/tangle.hpp"
+
+namespace tanglefl::tangle {
+
+/// Writes the ledger to `path`. Throws std::runtime_error on I/O failure.
+void save_ledger(const std::string& path, const Tangle& tangle,
+                 const ModelStore& store);
+
+/// Reads a ledger back: returns the tangle and refills `store` (which must
+/// be empty — the payload ids in the dump are dense from zero). Throws
+/// SerializeError on malformed content, std::runtime_error on I/O failure.
+Tangle load_ledger(const std::string& path, ModelStore& store);
+
+}  // namespace tanglefl::tangle

@@ -1,0 +1,54 @@
+#include "tangle/confidence.hpp"
+
+#include <algorithm>
+
+namespace tanglefl::tangle {
+
+std::vector<double> compute_confidences(const TangleView& view, Rng& rng,
+                                        const ConfidenceConfig& config) {
+  std::vector<double> confidence(view.size(), 0.0);
+  if (view.size() == 0 || config.sample_rounds == 0) return confidence;
+
+  const std::vector<std::uint32_t> future_cones = view.future_cone_sizes();
+  std::vector<std::uint32_t> hits(view.size(), 0);
+  std::vector<TxIndex> stack;
+  std::vector<bool> seen(view.size());
+
+  for (std::size_t round = 0; round < config.sample_rounds; ++round) {
+    const TxIndex tip =
+        random_walk_tip(view, future_cones, rng, config.tip_selection);
+    // Mark the tip's entire past cone as hit this round.
+    std::fill(seen.begin(), seen.end(), false);
+    stack.assign(1, tip);
+    seen[tip] = true;
+    while (!stack.empty()) {
+      const TxIndex current = stack.back();
+      stack.pop_back();
+      ++hits[current];
+      if (current == view.tangle().genesis()) continue;
+      for (const TxIndex p : view.tangle().parent_indices(current)) {
+        if (!seen[p]) {
+          seen[p] = true;
+          stack.push_back(p);
+        }
+      }
+    }
+  }
+
+  const double inv = 1.0 / static_cast<double>(config.sample_rounds);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    confidence[i] = static_cast<double>(hits[i]) * inv;
+  }
+  return confidence;
+}
+
+std::vector<double> compute_ratings(const TangleView& view) {
+  const std::vector<std::uint32_t> past = view.past_cone_sizes();
+  std::vector<double> ratings(past.size());
+  for (std::size_t i = 0; i < past.size(); ++i) {
+    ratings[i] = static_cast<double>(past[i]);
+  }
+  return ratings;
+}
+
+}  // namespace tanglefl::tangle

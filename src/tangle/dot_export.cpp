@@ -1,0 +1,57 @@
+#include "tangle/dot_export.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tanglefl::tangle {
+
+std::string to_dot(const TangleView& view, const DotOptions& options) {
+  const std::vector<TxIndex> tips = view.tips();
+  std::vector<bool> is_tip(view.size(), false);
+  for (const TxIndex t : tips) is_tip[t] = true;
+
+  // A transaction is part of the consensus if every tip approves it
+  // (Fig. 2's dark gray vertices).
+  std::vector<bool> in_consensus(view.size(), false);
+  if (options.color_consensus && !tips.empty()) {
+    for (TxIndex i = 0; i < view.size(); ++i) {
+      bool all = true;
+      for (const TxIndex t : tips) {
+        if (!view.approves(t, i)) {
+          all = false;
+          break;
+        }
+      }
+      in_consensus[i] = all;
+    }
+  }
+
+  std::ostringstream out;
+  out << "digraph " << options.graph_name << " {\n";
+  out << "  rankdir=RL;\n  node [shape=box, style=filled];\n";
+  for (TxIndex i = 0; i < view.size(); ++i) {
+    const Transaction& tx = view.tangle().transaction(i);
+    std::string color = "white";
+    if (i == view.tangle().genesis()) color = "black";
+    else if (is_tip[i]) color = "lightgray";
+    else if (in_consensus[i]) color = "darkgray";
+    out << "  t" << i << " [label=\"" << short_id(tx.id);
+    if (options.label_rounds) out << "\\nr" << tx.round;
+    out << "\", fillcolor=" << color
+        << (color == "black" ? ", fontcolor=white" : "") << "];\n";
+  }
+  for (TxIndex i = 1; i < view.size(); ++i) {
+    const auto& parents = view.tangle().parent_indices(i);
+    std::vector<TxIndex> distinct(parents.begin(), parents.end());
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    for (const TxIndex p : distinct) {
+      out << "  t" << i << " -> t" << p << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tanglefl::tangle

@@ -1,0 +1,21 @@
+// Graphviz DOT rendering of a tangle view, for inspecting consensus
+// structure (genesis / consensus / tip coloring follows Fig. 2).
+#pragma once
+
+#include <string>
+
+#include "tangle/tangle.hpp"
+
+namespace tanglefl::tangle {
+
+struct DotOptions {
+  bool label_rounds = true;        // annotate nodes with their round
+  bool color_consensus = true;     // shade transactions approved by all tips
+  std::string graph_name = "tangle";
+};
+
+/// Renders `view` as a DOT digraph. Edges point from approver to approved,
+/// matching Fig. 2.
+std::string to_dot(const TangleView& view, const DotOptions& options = {});
+
+}  // namespace tanglefl::tangle

@@ -1,0 +1,81 @@
+#include "tangle/model_store.hpp"
+
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+namespace tanglefl::tangle {
+
+Sha256Digest ModelStore::hash_params(std::span<const float> params) {
+  return Sha256::hash(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(params.data()),
+      params.size() * sizeof(float)));
+}
+
+ModelStore::AddResult ModelStore::add(nn::ParamVector params) {
+  AddResult result;
+  result.hash = hash_params(params);
+  const std::string key = to_hex(result.hash);
+
+  std::unique_lock lock(mutex_);
+  if (const auto it = by_hash_.find(key); it != by_hash_.end()) {
+    result.id = it->second;
+    result.deduplicated = true;
+    return result;
+  }
+  result.id = entries_.size();
+  entries_.push_back(
+      {std::make_unique<nn::ParamVector>(std::move(params)), result.hash});
+  by_hash_.emplace(key, result.id);
+  return result;
+}
+
+const nn::ParamVector& ModelStore::get(PayloadId id) const {
+  std::shared_lock lock(mutex_);
+  if (id >= entries_.size()) {
+    throw std::out_of_range("ModelStore::get: unknown payload id");
+  }
+  return *entries_[id].params;
+}
+
+const Sha256Digest& ModelStore::hash_of(PayloadId id) const {
+  std::shared_lock lock(mutex_);
+  if (id >= entries_.size()) {
+    throw std::out_of_range("ModelStore::hash_of: unknown payload id");
+  }
+  return entries_[id].hash;
+}
+
+std::size_t ModelStore::size() const {
+  std::shared_lock lock(mutex_);
+  return entries_.size();
+}
+
+void ModelStore::serialize(ByteWriter& writer) const {
+  std::shared_lock lock(mutex_);
+  writer.write_u64(entries_.size());
+  for (const auto& entry : entries_) {
+    writer.write_f32_span(*entry.params);
+  }
+}
+
+void ModelStore::deserialize_into(ByteReader& reader, ModelStore& store) {
+  const std::uint64_t count = reader.read_u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto added = store.add(reader.read_f32_vector());
+    if (added.id != i) {
+      // Duplicate payloads collapse on re-add; a well-formed dump never
+      // contains duplicates because add() deduplicated on write.
+      throw SerializeError("ModelStore: duplicate payload in dump");
+    }
+  }
+}
+
+std::size_t ModelStore::total_parameters() const {
+  std::shared_lock lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& entry : entries_) total += entry.params->size();
+  return total;
+}
+
+}  // namespace tanglefl::tangle

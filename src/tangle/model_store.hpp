@@ -1,0 +1,62 @@
+// Content-addressed payload store. A real ledger separates transaction
+// headers from bulky payloads; here the payloads are flat parameter vectors
+// shared by all simulated nodes. Identical payloads (e.g. a model republished
+// unchanged) deduplicate to one copy. Thread-safe: reads take a shared lock,
+// inserts an exclusive one, so parallel node training can resolve parent
+// payloads concurrently.
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/params.hpp"
+#include "support/sha256.hpp"
+#include "tangle/transaction.hpp"
+
+namespace tanglefl::tangle {
+
+class ModelStore {
+ public:
+  /// Inserts (or deduplicates) a payload; returns its handle and hash.
+  struct AddResult {
+    PayloadId id = 0;
+    Sha256Digest hash{};
+    bool deduplicated = false;
+  };
+  AddResult add(nn::ParamVector params);
+
+  /// Payload lookup. The returned reference stays valid for the store's
+  /// lifetime (payloads are immutable once inserted).
+  const nn::ParamVector& get(PayloadId id) const;
+
+  /// Hash recorded for a payload at insertion.
+  const Sha256Digest& hash_of(PayloadId id) const;
+
+  std::size_t size() const;
+
+  /// Total floats stored (diagnostic for dedup effectiveness).
+  std::size_t total_parameters() const;
+
+  static Sha256Digest hash_params(std::span<const float> params);
+
+  /// Binary round trip of all payloads (ids are preserved, so transaction
+  /// payload handles stay valid across save/load). The store is not
+  /// movable (it owns a mutex), so deserialization fills an existing empty
+  /// instance.
+  void serialize(ByteWriter& writer) const;
+  static void deserialize_into(ByteReader& reader, ModelStore& store);
+
+ private:
+  struct Entry {
+    std::unique_ptr<nn::ParamVector> params;  // stable address
+    Sha256Digest hash{};
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, PayloadId> by_hash_;  // hex hash -> id
+};
+
+}  // namespace tanglefl::tangle

@@ -1,0 +1,32 @@
+#include "tangle/pow.hpp"
+
+namespace tanglefl::tangle {
+
+std::optional<std::uint64_t> solve_pow(std::span<const TransactionId> parents,
+                                       const Sha256Digest& payload_hash,
+                                       std::uint64_t round,
+                                       int difficulty_bits,
+                                       std::uint64_t max_attempts) {
+  for (std::uint64_t nonce = 0; nonce < max_attempts; ++nonce) {
+    const TransactionId id =
+        compute_transaction_id(parents, payload_hash, round, nonce);
+    if (leading_zero_bits(id) >= difficulty_bits) return nonce;
+  }
+  return std::nullopt;
+}
+
+bool verify_pow(const Transaction& tx, int difficulty_bits) {
+  // Genesis self-referencing parents are rewritten after id derivation, so
+  // recompute with the empty parent list for it.
+  if (tx.is_genesis()) {
+    const TransactionId genesis_id =
+        compute_transaction_id({}, tx.payload_hash, tx.round, tx.nonce);
+    return genesis_id == tx.id;
+  }
+  const TransactionId expected = compute_transaction_id(
+      tx.parents, tx.payload_hash, tx.round, tx.nonce);
+  if (expected != tx.id) return false;
+  return leading_zero_bits(tx.id) >= difficulty_bits;
+}
+
+}  // namespace tanglefl::tangle

@@ -1,0 +1,28 @@
+// Proof-of-work primitive (Section II-C / IV). IOTA requires a small PoW
+// per transaction to throttle Sybil flooding. The paper's prototype leaves
+// it disabled; we implement it so the substrate is complete, and benchmark
+// it, but the experiments run with difficulty 0 like the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "tangle/transaction.hpp"
+
+namespace tanglefl::tangle {
+
+/// Searches nonces from 0 upward until the transaction id has at least
+/// `difficulty_bits` leading zero bits. Returns the nonce, or nullopt if
+/// `max_attempts` nonces were tried without success.
+std::optional<std::uint64_t> solve_pow(std::span<const TransactionId> parents,
+                                       const Sha256Digest& payload_hash,
+                                       std::uint64_t round,
+                                       int difficulty_bits,
+                                       std::uint64_t max_attempts = 1ULL << 24);
+
+/// Verifies that a transaction's stored id matches its fields and clears
+/// the difficulty target.
+bool verify_pow(const Transaction& tx, int difficulty_bits);
+
+}  // namespace tanglefl::tangle

@@ -1,0 +1,58 @@
+#include "tangle/tip_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tanglefl::tangle {
+
+TxIndex random_walk_tip(const TangleView& view,
+                        std::span<const std::uint32_t> future_cones, Rng& rng,
+                        const TipSelectionConfig& config) {
+  TxIndex current = view.tangle().genesis();
+  std::vector<double> weights;
+  for (;;) {
+    const std::vector<TxIndex> approvers = view.approvers(current);
+    if (approvers.empty()) return current;  // reached a tip
+    if (approvers.size() == 1) {
+      current = approvers.front();
+      continue;
+    }
+    // exp(alpha * (w - w_max)) keeps the weights in (0, 1] for stability.
+    std::uint32_t max_weight = 0;
+    for (const TxIndex a : approvers) {
+      max_weight = std::max(max_weight, future_cones[a]);
+    }
+    weights.clear();
+    for (const TxIndex a : approvers) {
+      weights.push_back(std::exp(
+          config.alpha * (static_cast<double>(future_cones[a]) -
+                          static_cast<double>(max_weight))));
+    }
+    current = approvers[rng.weighted_choice(weights)];
+  }
+}
+
+TxIndex uniform_random_tip(const TangleView& view, Rng& rng) {
+  const std::vector<TxIndex> tips = view.tips();
+  if (tips.empty()) return view.tangle().genesis();
+  return tips[rng.uniform_index(tips.size())];
+}
+
+std::vector<TxIndex> select_tips(const TangleView& view, std::size_t count,
+                                 Rng& rng, const TipSelectionConfig& config) {
+  std::vector<TxIndex> tips;
+  tips.reserve(count);
+  if (config.method == TipSelectionMethod::kUniform) {
+    for (std::size_t i = 0; i < count; ++i) {
+      tips.push_back(uniform_random_tip(view, rng));
+    }
+    return tips;
+  }
+  const std::vector<std::uint32_t> future_cones = view.future_cone_sizes();
+  for (std::size_t i = 0; i < count; ++i) {
+    tips.push_back(random_walk_tip(view, future_cones, rng, config));
+  }
+  return tips;
+}
+
+}  // namespace tanglefl::tangle

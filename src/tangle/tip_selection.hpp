@@ -1,0 +1,49 @@
+// Tip selection: a weighted random walk from the genesis transaction
+// towards the tips, moving opposite the direction of approvals
+// (Section II-C). At each step the walk picks one of the current
+// transaction's approvers with probability proportional to
+// exp(alpha * cumulative_weight), the IOTA MCMC transition rule; alpha is
+// the "randomness factor" the robustness of the tangle depends on
+// (Section V-B, [32]). alpha = 0 degenerates to an unbiased random walk,
+// large alpha to a deterministic heaviest-subtangle descent.
+//
+// As in the paper's prototype, walks always start at genesis rather than at
+// a depth-windowed particle (Section IV).
+#pragma once
+
+#include <vector>
+
+#include "support/rng.hpp"
+#include "tangle/tangle.hpp"
+
+namespace tanglefl::tangle {
+
+enum class TipSelectionMethod {
+  kWeightedWalk,  // MCMC walk biased by cumulative weight (IOTA default)
+  kUniform,       // uniform random tip selection (URTS, [18] in the paper)
+};
+
+struct TipSelectionConfig {
+  TipSelectionMethod method = TipSelectionMethod::kWeightedWalk;
+  double alpha = 0.01;  // walk bias towards heavier branches
+};
+
+/// Uniformly random member of view.tips() — URTS. Cheap but offers no
+/// protection against lazy/parasite chains, which is why IOTA (and the
+/// paper) use the weighted walk; exposed for comparison experiments.
+TxIndex uniform_random_tip(const TangleView& view, Rng& rng);
+
+/// One weighted random walk over `view`; returns the reached tip.
+/// `future_cones` must be view.future_cone_sizes() (passed in so repeated
+/// walks over the same view share the computation).
+TxIndex random_walk_tip(const TangleView& view,
+                        std::span<const std::uint32_t> future_cones, Rng& rng,
+                        const TipSelectionConfig& config);
+
+/// Runs `count` independent walks and returns the reached tips (duplicates
+/// possible — two walks may end at the same tip, and the paper allows the
+/// two chosen tips to coincide).
+std::vector<TxIndex> select_tips(const TangleView& view, std::size_t count,
+                                 Rng& rng, const TipSelectionConfig& config);
+
+}  // namespace tanglefl::tangle

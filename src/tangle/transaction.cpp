@@ -1,0 +1,72 @@
+#include "tangle/transaction.hpp"
+
+#include <algorithm>
+
+namespace tanglefl::tangle {
+
+TransactionId compute_transaction_id(std::span<const TransactionId> parents,
+                                     const Sha256Digest& payload_hash,
+                                     std::uint64_t round,
+                                     std::uint64_t nonce) {
+  ByteWriter preimage;
+  preimage.write_u64(parents.size());
+  for (const auto& parent : parents) {
+    preimage.write_bytes(parent);
+  }
+  preimage.write_bytes(payload_hash);
+  preimage.write_u64(round);
+  preimage.write_u64(nonce);
+  return Sha256::hash(preimage.bytes());
+}
+
+void serialize_transaction(const Transaction& tx, ByteWriter& writer) {
+  writer.write_bytes(tx.id);
+  writer.write_u64(tx.parents.size());
+  for (const auto& parent : tx.parents) {
+    writer.write_bytes(parent);
+  }
+  writer.write_bytes(tx.payload_hash);
+  writer.write_u64(tx.payload);
+  writer.write_u64(tx.round);
+  writer.write_u64(tx.nonce);
+  writer.write_string(tx.publisher);
+}
+
+namespace {
+
+Sha256Digest read_digest(ByteReader& reader) {
+  const std::vector<std::uint8_t> bytes = reader.read_bytes();
+  if (bytes.size() != 32) {
+    throw SerializeError("transaction digest must be 32 bytes");
+  }
+  Sha256Digest digest;
+  std::copy(bytes.begin(), bytes.end(), digest.begin());
+  return digest;
+}
+
+}  // namespace
+
+Transaction deserialize_transaction(ByteReader& reader) {
+  Transaction tx;
+  tx.id = read_digest(reader);
+  const std::uint64_t parent_count = reader.read_u64();
+  if (parent_count == 0 || parent_count > 64) {
+    throw SerializeError("transaction has implausible parent count");
+  }
+  tx.parents.reserve(parent_count);
+  for (std::uint64_t i = 0; i < parent_count; ++i) {
+    tx.parents.push_back(read_digest(reader));
+  }
+  tx.payload_hash = read_digest(reader);
+  tx.payload = reader.read_u64();
+  tx.round = reader.read_u64();
+  tx.nonce = reader.read_u64();
+  tx.publisher = reader.read_string();
+  return tx;
+}
+
+std::string short_id(const TransactionId& id) {
+  return to_hex(id).substr(0, 8);
+}
+
+}  // namespace tanglefl::tangle

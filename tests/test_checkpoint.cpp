@@ -1,0 +1,145 @@
+#include "tangle/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/simulation.hpp"
+#include "data/femnist_synth.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace tanglefl::tangle {
+namespace {
+
+const char* kPath = "/tmp/tanglefl_test_checkpoint.bin";
+
+struct Fixture {
+  ModelStore store;
+  Tangle tangle;
+
+  Fixture() : tangle(make_genesis(store)) {}
+
+  static Tangle make_genesis(ModelStore& store) {
+    const auto added = store.add({0.0f, 1.0f});
+    return Tangle(added.id, added.hash);
+  }
+
+  TxIndex add(std::vector<TxIndex> parents, nn::ParamVector params,
+              std::uint64_t round) {
+    const auto added = store.add(std::move(params));
+    return tangle.add_transaction(parents, added.id, added.hash, round);
+  }
+};
+
+TEST(Checkpoint, RoundTripPreservesLedger) {
+  Fixture f;
+  const TxIndex a = f.add({0}, {1.0f, 2.0f}, 1);
+  f.add({0, a}, {3.0f, 4.0f}, 2);
+
+  save_ledger(kPath, f.tangle, f.store);
+  ModelStore restored_store;
+  const Tangle restored = load_ledger(kPath, restored_store);
+
+  ASSERT_EQ(restored.size(), f.tangle.size());
+  for (TxIndex i = 0; i < restored.size(); ++i) {
+    EXPECT_EQ(restored.transaction(i).id, f.tangle.transaction(i).id);
+    EXPECT_EQ(restored_store.get(restored.transaction(i).payload),
+              f.store.get(f.tangle.transaction(i).payload));
+  }
+  std::remove(kPath);
+}
+
+TEST(Checkpoint, PayloadIdsStayValid) {
+  Fixture f;
+  f.add({0}, {5.0f}, 1);
+  save_ledger(kPath, f.tangle, f.store);
+  ModelStore restored_store;
+  const Tangle restored = load_ledger(kPath, restored_store);
+  // Payload handle 1 still addresses {5.0f}.
+  EXPECT_EQ(restored_store.get(restored.transaction(1).payload),
+            (nn::ParamVector{5.0f}));
+  std::remove(kPath);
+}
+
+TEST(Checkpoint, BadMagicRejected) {
+  {
+    std::ofstream out(kPath, std::ios::binary | std::ios::trunc);
+    out << "not a ledger at all, definitely";
+  }
+  ModelStore store;
+  EXPECT_THROW((void)load_ledger(kPath, store), SerializeError);
+  std::remove(kPath);
+}
+
+TEST(Checkpoint, TruncatedFileRejected) {
+  Fixture f;
+  f.add({0}, {1.0f}, 1);
+  save_ledger(kPath, f.tangle, f.store);
+  // Truncate the file in the middle.
+  {
+    std::ifstream in(kPath, std::ios::binary | std::ios::ate);
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    std::vector<char> bytes(size / 2);
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    std::ofstream out(kPath, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ModelStore store;
+  EXPECT_THROW((void)load_ledger(kPath, store), SerializeError);
+  std::remove(kPath);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  ModelStore store;
+  EXPECT_THROW((void)load_ledger("/tmp/tanglefl_definitely_missing.bin", store),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, NonEmptyStoreRejected) {
+  Fixture f;
+  save_ledger(kPath, f.tangle, f.store);
+  ModelStore busy;
+  busy.add({9.0f});
+  EXPECT_THROW((void)load_ledger(kPath, busy), std::invalid_argument);
+  std::remove(kPath);
+}
+
+TEST(Checkpoint, SimulationLedgerRoundTrips) {
+  // A ledger produced by an actual simulation round-trips bit-exact.
+  data::FemnistSynthConfig data_config;
+  data_config.num_users = 8;
+  data_config.num_classes = 3;
+  data_config.image_size = 8;
+  data_config.seed = 4;
+  const auto dataset = data::make_femnist_synth(data_config);
+  nn::ImageCnnConfig model_config;
+  model_config.image_size = 8;
+  model_config.num_classes = 3;
+  model_config.conv1_channels = 2;
+  model_config.conv2_channels = 4;
+  model_config.hidden = 8;
+  const nn::ModelFactory factory = [model_config] {
+    return nn::make_image_cnn(model_config);
+  };
+
+  core::SimulationConfig config;
+  config.rounds = 4;
+  config.nodes_per_round = 4;
+  config.node.training.sgd.learning_rate = 0.05;
+  config.seed = 9;
+  core::TangleSimulation sim(dataset, factory, config);
+  for (std::uint64_t r = 1; r <= 4; ++r) sim.run_round(r);
+
+  save_ledger(kPath, sim.tangle(), sim.store());
+  ModelStore restored_store;
+  const Tangle restored = load_ledger(kPath, restored_store);
+  ASSERT_EQ(restored.size(), sim.tangle().size());
+  EXPECT_EQ(restored.view().tips(), sim.tangle().view().tips());
+  EXPECT_EQ(restored_store.size(), sim.store().size());
+  std::remove(kPath);
+}
+
+}  // namespace
+}  // namespace tanglefl::tangle

@@ -1,0 +1,104 @@
+#include "tangle/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tangle/model_store.hpp"
+
+namespace tanglefl::tangle {
+namespace {
+
+struct Fixture {
+  ModelStore store;
+  Tangle tangle;
+
+  Fixture() : tangle(make_genesis(store)) {}
+
+  static Tangle make_genesis(ModelStore& store) {
+    const auto added = store.add({0.0f});
+    return Tangle(added.id, added.hash);
+  }
+
+  TxIndex add(std::vector<TxIndex> parents, float value, std::uint64_t round) {
+    const auto added = store.add({value});
+    return tangle.add_transaction(parents, added.id, added.hash, round);
+  }
+};
+
+TEST(DotExport, ContainsAllNodesAndEdges) {
+  Fixture f;
+  const TxIndex a = f.add({0}, 1.0f, 1);
+  f.add({0, a}, 2.0f, 2);
+  const std::string dot = to_dot(f.tangle.view());
+  EXPECT_NE(dot.find("digraph tangle"), std::string::npos);
+  EXPECT_NE(dot.find("t0 ["), std::string::npos);
+  EXPECT_NE(dot.find("t1 ["), std::string::npos);
+  EXPECT_NE(dot.find("t2 ["), std::string::npos);
+  EXPECT_NE(dot.find("t1 -> t0"), std::string::npos);
+  EXPECT_NE(dot.find("t2 -> t0"), std::string::npos);
+  EXPECT_NE(dot.find("t2 -> t1"), std::string::npos);
+}
+
+TEST(DotExport, GenesisIsBlack) {
+  Fixture f;
+  const std::string dot = to_dot(f.tangle.view());
+  EXPECT_NE(dot.find("fillcolor=black"), std::string::npos);
+}
+
+TEST(DotExport, TipsAreLightGray) {
+  Fixture f;
+  f.add({0}, 1.0f, 1);
+  const std::string dot = to_dot(f.tangle.view());
+  EXPECT_NE(dot.find("fillcolor=lightgray"), std::string::npos);
+}
+
+TEST(DotExport, ConsensusIsDarkGray) {
+  Fixture f;
+  // mid is approved by both tips -> consensus (dark gray), Fig. 2.
+  const TxIndex mid = f.add({0}, 1.0f, 1);
+  f.add({mid}, 2.0f, 2);
+  f.add({mid}, 3.0f, 2);
+  const std::string dot = to_dot(f.tangle.view());
+  EXPECT_NE(dot.find("fillcolor=darkgray"), std::string::npos);
+}
+
+TEST(DotExport, NonConsensusNonTipIsWhite) {
+  Fixture f;
+  // A transaction approved by only one of two tips stays white (Fig. 2's
+  // white vertex).
+  const TxIndex a = f.add({0}, 1.0f, 1);
+  f.add({a}, 2.0f, 2);   // tip over a
+  f.add({0}, 3.0f, 2);   // second tip not approving a
+  const std::string dot = to_dot(f.tangle.view());
+  EXPECT_NE(dot.find("fillcolor=white"), std::string::npos);
+}
+
+TEST(DotExport, RoundLabelsOptional) {
+  Fixture f;
+  f.add({0}, 1.0f, 5);
+  DotOptions options;
+  options.label_rounds = false;
+  const std::string without = to_dot(f.tangle.view(), options);
+  EXPECT_EQ(without.find("r5"), std::string::npos);
+  options.label_rounds = true;
+  EXPECT_NE(to_dot(f.tangle.view(), options).find("r5"), std::string::npos);
+}
+
+TEST(DotExport, DuplicateParentEdgeEmittedOnce) {
+  Fixture f;
+  f.add({0, 0}, 1.0f, 1);
+  const std::string dot = to_dot(f.tangle.view());
+  const auto first = dot.find("t1 -> t0");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(dot.find("t1 -> t0", first + 1), std::string::npos);
+}
+
+TEST(DotExport, CustomGraphName) {
+  Fixture f;
+  DotOptions options;
+  options.graph_name = "myledger";
+  EXPECT_NE(to_dot(f.tangle.view(), options).find("digraph myledger"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tanglefl::tangle

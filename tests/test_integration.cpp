@@ -1,0 +1,189 @@
+// End-to-end integration tests: full simulations exercising every layer of
+// the stack together, asserting the qualitative results the paper reports
+// (at miniature scale so the suite stays fast).
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "data/femnist_synth.hpp"
+#include "fedavg/fedavg.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace tanglefl {
+namespace {
+
+data::FederatedDataset benchmark_dataset() {
+  data::FemnistSynthConfig config;
+  config.num_users = 24;
+  config.num_classes = 5;
+  config.image_size = 10;
+  config.mean_samples_per_user = 25.0;
+  config.seed = 21;
+  return data::make_femnist_synth(config);
+}
+
+nn::ModelFactory benchmark_factory() {
+  nn::ImageCnnConfig config;
+  config.image_size = 10;
+  config.num_classes = 5;
+  config.conv1_channels = 4;
+  config.conv2_channels = 8;
+  config.hidden = 24;
+  return [config] { return nn::make_image_cnn(config); };
+}
+
+data::TrainConfig benchmark_training() {
+  data::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 10;
+  config.sgd.learning_rate = 0.06;
+  return config;
+}
+
+TEST(Integration, TangleLearnsWellAboveChance) {
+  const auto dataset = benchmark_dataset();
+  core::SimulationConfig config;
+  config.rounds = 30;
+  config.nodes_per_round = 6;
+  config.eval_every = 30;
+  config.eval_nodes_fraction = 0.5;
+  config.node.training = benchmark_training();
+  config.node.num_tips = 3;
+  config.node.tip_sample_size = 6;
+  config.node.reference.num_reference_models = 10;
+  config.seed = 5;
+  const core::RunResult run =
+      core::run_tangle_learning(dataset, benchmark_factory(), config);
+  // 5 classes: chance is 0.2.
+  EXPECT_GT(run.final_accuracy(), 0.4);
+}
+
+TEST(Integration, OptimizedTangleTracksFedAvg) {
+  const auto dataset = benchmark_dataset();
+
+  fedavg::FedAvgConfig fedavg_config;
+  fedavg_config.rounds = 20;
+  fedavg_config.clients_per_round = 6;
+  fedavg_config.eval_every = 20;
+  fedavg_config.eval_nodes_fraction = 0.5;
+  fedavg_config.training = benchmark_training();
+  fedavg_config.seed = 5;
+  const core::RunResult baseline =
+      fedavg::run_fedavg(dataset, benchmark_factory(), fedavg_config);
+
+  core::SimulationConfig config;
+  config.rounds = 20;
+  config.nodes_per_round = 6;
+  config.eval_every = 20;
+  config.eval_nodes_fraction = 0.5;
+  config.node.training = benchmark_training();
+  config.node.num_tips = 3;
+  config.node.tip_sample_size = 6;
+  config.node.reference.num_reference_models = 10;
+  config.seed = 5;
+  const core::RunResult tangle =
+      core::run_tangle_learning(dataset, benchmark_factory(), config);
+
+  // The paper's headline: optimized tangle is comparable to FedAvg. Allow
+  // a generous margin at this miniature scale.
+  EXPECT_GT(tangle.final_accuracy(), baseline.final_accuracy() - 0.25);
+}
+
+TEST(Integration, RobustTipSelectionBeatsBasicUnderPoisoning) {
+  // The Section III-E result at miniature scale: with 20% random-weight
+  // poisoners, robust tip selection keeps a useful consensus while the
+  // basic Algorithm 2 collapses (mirrors examples/poisoning_defense).
+  data::FemnistSynthConfig data_config;
+  data_config.num_users = 30;
+  data_config.num_classes = 5;
+  data_config.image_size = 12;
+  data_config.mean_samples_per_user = 25.0;
+  data_config.seed = 42;
+  const auto dataset = data::make_femnist_synth(data_config);
+
+  nn::ImageCnnConfig model_config;
+  model_config.image_size = 12;
+  model_config.num_classes = 5;
+  const nn::ModelFactory factory = [model_config] {
+    return nn::make_image_cnn(model_config);
+  };
+
+  const auto run_variant = [&](std::size_t sample_size) {
+    core::SimulationConfig config;
+    config.rounds = 30;
+    config.nodes_per_round = 8;
+    config.eval_every = 30;
+    config.eval_nodes_fraction = 0.4;
+    config.node.training.sgd.learning_rate = 0.05;
+    config.node.num_tips = 2;
+    config.node.tip_sample_size = sample_size;
+    config.node.reference.num_reference_models = 5;
+    config.attack = core::AttackType::kRandomPoison;
+    config.malicious_fraction = 0.2;
+    config.attack_start_round = 17;
+    config.seed = 42;
+    return core::run_tangle_learning(dataset, factory, config);
+  };
+
+  const core::RunResult basic = run_variant(2);
+  const core::RunResult robust = run_variant(8);
+  EXPECT_GT(robust.final_accuracy(), 0.4);
+  EXPECT_GT(robust.final_accuracy(), basic.final_accuracy());
+}
+
+TEST(Integration, HeavyPoisoningOvertakesConsensus) {
+  // The flip side of Fig. 5: beyond the robustness threshold the consensus
+  // collapses towards chance.
+  const auto dataset = benchmark_dataset();
+  core::SimulationConfig config;
+  config.rounds = 34;
+  config.nodes_per_round = 6;
+  config.eval_every = 34;
+  config.eval_nodes_fraction = 0.5;
+  config.node.training = benchmark_training();
+  config.node.num_tips = 2;
+  config.node.tip_sample_size = 6;
+  config.node.reference.num_reference_models = 10;
+  config.attack = core::AttackType::kRandomPoison;
+  config.malicious_fraction = 0.45;
+  config.attack_start_round = 16;
+  config.seed = 5;
+  const core::RunResult run =
+      core::run_tangle_learning(dataset, benchmark_factory(), config);
+  EXPECT_LT(run.final_accuracy(), 0.45);
+}
+
+TEST(Integration, PublishRateDropsUnderAttack) {
+  // Honest nodes keep publishing under the defence; the sanity check here
+  // is simply that the pipeline records the statistic.
+  const auto dataset = benchmark_dataset();
+  core::SimulationConfig config;
+  config.rounds = 10;
+  config.nodes_per_round = 6;
+  config.eval_every = 5;
+  config.node.training = benchmark_training();
+  config.seed = 5;
+  core::TangleSimulation sim(dataset, benchmark_factory(), config);
+  for (std::uint64_t r = 1; r <= 10; ++r) sim.run_round(r);
+  const core::RoundRecord record = sim.evaluate(10);
+  EXPECT_GE(record.publish_rate, 0.0);
+  EXPECT_LE(record.publish_rate, 1.0);
+}
+
+TEST(Integration, LedgerDeduplicatesRepublishedModels) {
+  // Model store payload count never exceeds transaction count, and is
+  // lower when identical parameters are republished.
+  const auto dataset = benchmark_dataset();
+  core::SimulationConfig config;
+  config.rounds = 8;
+  config.nodes_per_round = 6;
+  config.eval_every = 8;
+  config.node.training = benchmark_training();
+  config.seed = 5;
+  core::TangleSimulation sim(dataset, benchmark_factory(), config);
+  for (std::uint64_t r = 1; r <= 8; ++r) sim.run_round(r);
+  EXPECT_LE(sim.store().size(), sim.tangle().size());
+  EXPECT_GE(sim.store().size(), 1u);
+}
+
+}  // namespace
+}  // namespace tanglefl

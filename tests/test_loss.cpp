@@ -1,0 +1,94 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tanglefl::nn {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogC) {
+  const Tensor logits({2, 4});  // all zeros -> uniform softmax
+  const std::vector<std::int32_t> labels = {0, 3};
+  const LossResult result = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(result.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(Loss, ConfidentCorrectPredictionHasLowLoss) {
+  Tensor logits({1, 3});
+  logits.at(0, 1) = 20.0f;
+  const std::vector<std::int32_t> labels = {1};
+  EXPECT_LT(softmax_cross_entropy(logits, labels).loss, 1e-3f);
+}
+
+TEST(Loss, ConfidentWrongPredictionHasHighLoss) {
+  Tensor logits({1, 3});
+  logits.at(0, 0) = 20.0f;
+  const std::vector<std::int32_t> labels = {2};
+  EXPECT_GT(softmax_cross_entropy(logits, labels).loss, 10.0f);
+}
+
+TEST(Loss, GradientRowsSumToZero) {
+  Tensor logits({3, 5});
+  logits.at(0, 1) = 2.0f;
+  logits.at(1, 3) = -1.0f;
+  const std::vector<std::int32_t> labels = {1, 0, 4};
+  const LossResult result = softmax_cross_entropy(logits, labels);
+  for (std::size_t r = 0; r < 3; ++r) {
+    float total = 0.0f;
+    for (std::size_t c = 0; c < 5; ++c) total += result.grad.at(r, c);
+    EXPECT_NEAR(total, 0.0f, 1e-6f);
+  }
+}
+
+TEST(Loss, GradientNegativeAtLabel) {
+  const Tensor logits({1, 3});
+  const std::vector<std::int32_t> labels = {2};
+  const LossResult result = softmax_cross_entropy(logits, labels);
+  EXPECT_LT(result.grad.at(0, 2), 0.0f);
+  EXPECT_GT(result.grad.at(0, 0), 0.0f);
+}
+
+TEST(Loss, LossOnlyVariantAgrees) {
+  Tensor logits({2, 6});
+  logits.at(0, 2) = 1.5f;
+  logits.at(1, 5) = -0.5f;
+  const std::vector<std::int32_t> labels = {2, 0};
+  const LossResult full = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(full.loss, softmax_cross_entropy_loss(logits, labels), 1e-6f);
+}
+
+TEST(Loss, ExtremeLogitsStayFinite) {
+  Tensor logits({1, 2});
+  logits.at(0, 0) = 1e4f;
+  logits.at(0, 1) = -1e4f;
+  const std::vector<std::int32_t> labels = {1};
+  const LossResult result = softmax_cross_entropy(logits, labels);
+  EXPECT_TRUE(std::isfinite(result.loss));
+  EXPECT_TRUE(std::isfinite(result.grad[0]));
+}
+
+TEST(Accuracy, PerfectPrediction) {
+  Tensor logits({2, 3});
+  logits.at(0, 1) = 5.0f;
+  logits.at(1, 2) = 5.0f;
+  const std::vector<std::int32_t> labels = {1, 2};
+  EXPECT_DOUBLE_EQ(accuracy(logits, labels), 1.0);
+}
+
+TEST(Accuracy, HalfCorrect) {
+  Tensor logits({2, 3});
+  logits.at(0, 1) = 5.0f;
+  logits.at(1, 0) = 5.0f;
+  const std::vector<std::int32_t> labels = {1, 2};
+  EXPECT_DOUBLE_EQ(accuracy(logits, labels), 0.5);
+}
+
+TEST(Accuracy, EmptyBatchIsZero) {
+  const Tensor logits({0, 3});
+  const std::vector<std::int32_t> labels;
+  EXPECT_DOUBLE_EQ(accuracy(logits, labels), 0.0);
+}
+
+}  // namespace
+}  // namespace tanglefl::nn

@@ -1,0 +1,188 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/training.hpp"
+#include "nn/loss.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace tanglefl::nn {
+namespace {
+
+/// A 1-parameter model for exact optimizer arithmetic: y = w * x.
+Model one_weight_model() {
+  Model model;
+  model.emplace<Linear>(1, 1);
+  return model;
+}
+
+void set_weight(Model& model, float w, float b = 0.0f) {
+  model.set_parameters(std::vector<float>{w, b});
+}
+
+TEST(Sgd, VanillaStepIsLrTimesGrad) {
+  Model model = one_weight_model();
+  set_weight(model, 1.0f);
+  // Force a known gradient through a forward/backward pass: with x = 1 and
+  // d(loss)/d(y) = 2, dW = 2.
+  const Tensor x({1, 1}, {1.0f});
+  (void)model.forward(x, true);
+  model.backward(Tensor({1, 1}, {2.0f}));
+
+  SgdOptimizer sgd({.learning_rate = 0.1});
+  sgd.step(model);
+  EXPECT_NEAR(model.get_parameters()[0], 1.0f - 0.1f * 2.0f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Model model = one_weight_model();
+  set_weight(model, 10.0f);
+  model.zero_gradients();  // zero grad: only decay acts
+  SgdOptimizer sgd({.learning_rate = 0.1, .weight_decay = 0.5});
+  sgd.step(model);
+  EXPECT_NEAR(model.get_parameters()[0], 10.0f - 0.1f * 0.5f * 10.0f, 1e-5f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Model model = one_weight_model();
+  set_weight(model, 0.0f);
+  SgdOptimizer sgd({.learning_rate = 1.0, .momentum = 0.5});
+
+  const Tensor x({1, 1}, {1.0f});
+  for (int i = 0; i < 2; ++i) {
+    model.zero_gradients();
+    (void)model.forward(x, true);
+    model.backward(Tensor({1, 1}, {1.0f}));  // constant grad 1
+    sgd.step(model);
+  }
+  // v1 = 1, w1 = -1; v2 = 0.5 + 1 = 1.5, w2 = -2.5.
+  EXPECT_NEAR(model.get_parameters()[0], -2.5f, 1e-5f);
+}
+
+TEST(Sgd, GradClipBoundsUpdate) {
+  Model model = one_weight_model();
+  set_weight(model, 0.0f);
+  const Tensor x({1, 1}, {1.0f});
+  (void)model.forward(x, true);
+  model.backward(Tensor({1, 1}, {100.0f}));  // dW=100, db=100 -> norm ~141
+
+  SgdOptimizer sgd({.learning_rate = 1.0, .grad_clip = 1.0});
+  sgd.step(model);
+  const auto params = model.get_parameters();
+  const float norm = std::sqrt(params[0] * params[0] + params[1] * params[1]);
+  EXPECT_NEAR(norm, 1.0f, 1e-4f);
+}
+
+TEST(Sgd, DecreasesLossOnQuadratic) {
+  // Minimize cross-entropy on a fixed batch: loss must drop monotonically
+  // for a small enough learning rate.
+  Rng rng(3);
+  Model model = make_mlp(4, 8, 3);
+  model.init(rng);
+  Tensor x({6, 4});
+  for (auto& v : x.values()) v = static_cast<float>(rng.normal());
+  const std::vector<std::int32_t> labels = {0, 1, 2, 0, 1, 2};
+
+  SgdOptimizer sgd({.learning_rate = 0.1});
+  float last = 1e9f;
+  for (int step = 0; step < 20; ++step) {
+    model.zero_gradients();
+    const Tensor logits = model.forward(x, true);
+    const LossResult loss = softmax_cross_entropy(logits, labels);
+    model.backward(loss.grad);
+    sgd.step(model);
+    EXPECT_LE(loss.loss, last + 1e-3f);
+    last = loss.loss;
+  }
+  EXPECT_LT(last, std::log(3.0f));
+}
+
+TEST(Adam, FirstStepIsSignScaled) {
+  // With bias correction, the very first Adam step has magnitude ~lr in
+  // the gradient's sign direction (m_hat/sqrt(v_hat) = g/|g|).
+  Model model = one_weight_model();
+  set_weight(model, 0.0f);
+  const Tensor x({1, 1}, {1.0f});
+  (void)model.forward(x, true);
+  model.backward(Tensor({1, 1}, {3.0f}));  // dW = 3, db = 3
+
+  AdamOptimizer adam({.learning_rate = 0.1});
+  adam.step(model);
+  EXPECT_NEAR(model.get_parameters()[0], -0.1f, 1e-4f);
+  EXPECT_EQ(adam.steps_taken(), 1u);
+}
+
+TEST(Adam, AdaptsToGradientScale) {
+  // Two parameters with gradients of very different magnitude receive
+  // near-equal Adam updates (per-coordinate normalization).
+  Model model;
+  model.emplace<Linear>(2, 1);
+  model.set_parameters(std::vector<float>{0.0f, 0.0f, 0.0f});
+  const Tensor x({1, 2}, {1.0f, 100.0f});  // dW = [1, 100] * dy
+  (void)model.forward(x, true);
+  model.backward(Tensor({1, 1}, {1.0f}));
+
+  AdamOptimizer adam({.learning_rate = 0.01});
+  adam.step(model);
+  const auto params = model.get_parameters();
+  EXPECT_NEAR(params[0], -0.01f, 1e-4f);
+  EXPECT_NEAR(params[1], -0.01f, 1e-4f);
+}
+
+TEST(Adam, DecreasesLossOnClassification) {
+  Rng rng(13);
+  Model model = make_mlp(4, 8, 3);
+  model.init(rng);
+  Tensor x({6, 4});
+  for (auto& v : x.values()) v = static_cast<float>(rng.normal());
+  const std::vector<std::int32_t> labels = {0, 1, 2, 0, 1, 2};
+
+  AdamOptimizer adam({.learning_rate = 0.05});
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 30; ++step) {
+    model.zero_gradients();
+    const Tensor logits = model.forward(x, true);
+    const LossResult loss = softmax_cross_entropy(logits, labels);
+    model.backward(loss.grad);
+    adam.step(model);
+    if (step == 0) first = loss.loss;
+    last = loss.loss;
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(Adam, TrainLocalIntegration) {
+  // TrainConfig::use_adam routes through the Adam path and learns.
+  Rng data_rng(14);
+  data::DataSplit train;
+  train.features = nn::Tensor({32, 2});
+  train.labels.resize(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const bool positive = i % 2 == 0;
+    train.features.at(i, 0) =
+        static_cast<float>(data_rng.normal()) + (positive ? 2.0f : -2.0f);
+    train.labels[i] = positive ? 1 : 0;
+  }
+
+  Model model = make_mlp(2, 8, 2);
+  Rng init_rng(15);
+  model.init(init_rng);
+  data::TrainConfig config;
+  config.epochs = 10;
+  config.use_adam = true;
+  config.adam.learning_rate = 0.02;
+  Rng rng(16);
+  const double final_loss = data::train_local(model, train, config, rng);
+  EXPECT_LT(final_loss, 0.3);
+}
+
+TEST(Sgd, SetLearningRate) {
+  SgdOptimizer sgd({.learning_rate = 0.1});
+  sgd.set_learning_rate(0.01);
+  EXPECT_DOUBLE_EQ(sgd.config().learning_rate, 0.01);
+}
+
+}  // namespace
+}  // namespace tanglefl::nn

@@ -1,0 +1,89 @@
+#include "tangle/pow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tanglefl::tangle {
+namespace {
+
+std::vector<TransactionId> parents() {
+  return {Sha256::hash("parent-1"), Sha256::hash("parent-2")};
+}
+
+TEST(Pow, DifficultyZeroSolvesImmediately) {
+  const auto nonce = solve_pow(parents(), Sha256::hash("payload"), 1, 0);
+  ASSERT_TRUE(nonce.has_value());
+  EXPECT_EQ(*nonce, 0u);
+}
+
+TEST(Pow, SolvedNonceClearsDifficulty) {
+  const auto p = parents();
+  const Sha256Digest payload = Sha256::hash("payload");
+  const int difficulty = 10;
+  const auto nonce = solve_pow(p, payload, 1, difficulty);
+  ASSERT_TRUE(nonce.has_value());
+  const TransactionId id = compute_transaction_id(p, payload, 1, *nonce);
+  EXPECT_GE(leading_zero_bits(id), difficulty);
+}
+
+TEST(Pow, ExhaustedAttemptsReturnNullopt) {
+  // 64 leading zero bits within 4 attempts is effectively impossible.
+  const auto nonce =
+      solve_pow(parents(), Sha256::hash("payload"), 1, 64, /*max_attempts=*/4);
+  EXPECT_FALSE(nonce.has_value());
+}
+
+TEST(Pow, VerifyAcceptsValidTransaction) {
+  Transaction tx;
+  tx.parents = parents();
+  tx.payload_hash = Sha256::hash("payload");
+  tx.round = 3;
+  const int difficulty = 8;
+  const auto nonce = solve_pow(tx.parents, tx.payload_hash, tx.round, difficulty);
+  ASSERT_TRUE(nonce.has_value());
+  tx.nonce = *nonce;
+  tx.id = compute_transaction_id(tx.parents, tx.payload_hash, tx.round, tx.nonce);
+  EXPECT_TRUE(verify_pow(tx, difficulty));
+}
+
+TEST(Pow, VerifyRejectsTamperedPayload) {
+  Transaction tx;
+  tx.parents = parents();
+  tx.payload_hash = Sha256::hash("payload");
+  tx.round = 3;
+  tx.id = compute_transaction_id(tx.parents, tx.payload_hash, tx.round, 0);
+  tx.payload_hash = Sha256::hash("tampered");  // id no longer matches
+  EXPECT_FALSE(verify_pow(tx, 0));
+}
+
+TEST(Pow, VerifyRejectsInsufficientDifficulty) {
+  Transaction tx;
+  tx.parents = parents();
+  tx.payload_hash = Sha256::hash("payload");
+  tx.round = 3;
+  tx.nonce = 0;
+  tx.id = compute_transaction_id(tx.parents, tx.payload_hash, tx.round, 0);
+  // Honest id, but demand an absurd difficulty.
+  EXPECT_FALSE(verify_pow(tx, 128));
+}
+
+TEST(Pow, VerifyAcceptsGenesisConvention) {
+  Transaction genesis;
+  genesis.payload_hash = Sha256::hash("genesis-model");
+  genesis.id =
+      compute_transaction_id({}, genesis.payload_hash, 0, 0);
+  genesis.parents = {genesis.id};  // self-approval convention
+  EXPECT_TRUE(verify_pow(genesis, 0));
+}
+
+TEST(Pow, HigherDifficultyNeedsMoreAttempts) {
+  const auto p = parents();
+  const Sha256Digest payload = Sha256::hash("payload-2");
+  const auto easy = solve_pow(p, payload, 1, 4);
+  const auto hard = solve_pow(p, payload, 1, 12);
+  ASSERT_TRUE(easy.has_value());
+  ASSERT_TRUE(hard.has_value());
+  EXPECT_LE(*easy, *hard);
+}
+
+}  // namespace
+}  // namespace tanglefl::tangle

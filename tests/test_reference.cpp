@@ -1,0 +1,129 @@
+#include "core/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tangle/model_store.hpp"
+
+namespace tanglefl::core {
+namespace {
+
+using tangle::ModelStore;
+using tangle::Tangle;
+using tangle::TxIndex;
+
+struct Fixture {
+  ModelStore store;
+  Tangle tangle;
+
+  Fixture() : tangle(make_genesis(store)) {}
+
+  static Tangle make_genesis(ModelStore& store) {
+    const auto added = store.add({0.0f, 0.0f});
+    return Tangle(added.id, added.hash);
+  }
+
+  TxIndex add(std::vector<TxIndex> parents, nn::ParamVector params,
+              std::uint64_t round) {
+    const auto added = store.add(std::move(params));
+    return tangle.add_transaction(parents, added.id, added.hash, round);
+  }
+};
+
+TEST(Reference, GenesisOnlyReturnsGenesisPayload) {
+  Fixture f;
+  Rng rng(1);
+  const ReferenceResult result =
+      choose_reference(f.tangle.view(), f.store, rng, {});
+  ASSERT_EQ(result.transactions.size(), 1u);
+  EXPECT_EQ(result.transactions[0], 0u);
+  EXPECT_EQ(result.params, (nn::ParamVector{0.0f, 0.0f}));
+}
+
+TEST(Reference, PicksDeepConsensusTransaction) {
+  Fixture f;
+  // A linear chain: the newest chain element has the highest
+  // confidence * rating (confidence 1, largest past cone).
+  TxIndex tip = 0;
+  for (int i = 1; i <= 5; ++i) {
+    tip = f.add({tip}, {static_cast<float>(i), 0.0f},
+                static_cast<std::uint64_t>(i));
+  }
+  Rng rng(2);
+  const ReferenceResult result =
+      choose_reference(f.tangle.view(), f.store, rng, {});
+  EXPECT_EQ(result.transactions[0], tip);
+  EXPECT_EQ(result.params[0], 5.0f);
+}
+
+TEST(Reference, AbandonedBranchLosesToConsensusBranch) {
+  Fixture f;
+  // A short abandoned fork vs a long approved chain.
+  const TxIndex orphan = f.add({0}, {99.0f, 0.0f}, 1);
+  TxIndex tip = f.add({0}, {1.0f, 0.0f}, 1);
+  for (int i = 2; i <= 6; ++i) {
+    tip = f.add({tip}, {static_cast<float>(i), 0.0f},
+                static_cast<std::uint64_t>(i));
+  }
+  Rng rng(3);
+  ReferenceConfig config;
+  config.confidence.sample_rounds = 64;
+  config.confidence.tip_selection.alpha = 1.0;  // favor the heavy branch
+  const ReferenceResult result =
+      choose_reference(f.tangle.view(), f.store, rng, config);
+  EXPECT_NE(result.transactions[0], orphan);
+  EXPECT_EQ(result.params[0], 6.0f);
+}
+
+TEST(Reference, TopNAveragesPayloads) {
+  Fixture f;
+  TxIndex tip = 0;
+  for (int i = 1; i <= 4; ++i) {
+    tip = f.add({tip}, {static_cast<float>(i), 0.0f},
+                static_cast<std::uint64_t>(i));
+  }
+  Rng rng(4);
+  ReferenceConfig config;
+  config.num_reference_models = 2;
+  const ReferenceResult result =
+      choose_reference(f.tangle.view(), f.store, rng, config);
+  ASSERT_EQ(result.transactions.size(), 2u);
+  // Top two by confidence * rating are the two newest chain elements.
+  EXPECT_EQ(result.params[0], (4.0f + 3.0f) / 2.0f);
+}
+
+TEST(Reference, TopNClampedToViewSize) {
+  Fixture f;
+  f.add({0}, {1.0f, 0.0f}, 1);
+  Rng rng(5);
+  ReferenceConfig config;
+  config.num_reference_models = 50;
+  const ReferenceResult result =
+      choose_reference(f.tangle.view(), f.store, rng, config);
+  EXPECT_EQ(result.transactions.size(), 2u);  // genesis + one transaction
+}
+
+TEST(Reference, DeterministicInRng) {
+  Fixture f;
+  for (int i = 0; i < 6; ++i) {
+    f.add({0}, {static_cast<float>(i), 0.0f}, 1);
+  }
+  Rng rng_a(6), rng_b(6);
+  const ReferenceResult a = choose_reference(f.tangle.view(), f.store, rng_a, {});
+  const ReferenceResult b = choose_reference(f.tangle.view(), f.store, rng_b, {});
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_EQ(a.params, b.params);
+}
+
+TEST(Reference, RespectsViewPrefix) {
+  Fixture f;
+  const TxIndex a = f.add({0}, {1.0f, 0.0f}, 1);
+  f.add({a}, {2.0f, 0.0f}, 2);
+  Rng rng(7);
+  const ReferenceResult result = choose_reference(
+      f.tangle.view_prefix(2), f.store, rng, {});
+  EXPECT_LE(result.transactions[0], 1u);
+  EXPECT_NE(result.params[0], 2.0f);
+}
+
+}  // namespace
+}  // namespace tanglefl::core

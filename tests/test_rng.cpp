@@ -1,0 +1,218 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace tanglefl {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  const Rng parent(99);
+  Rng a = parent.split(7);
+  Rng b = parent.split(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitKeysProduceIndependentStreams) {
+  const Rng parent(99);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng parent(5);
+  Rng reference(5);
+  (void)parent.split(3);
+  EXPECT_EQ(parent(), reference());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(42);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(42);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(42);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(42);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) heads += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedChoiceFollowsWeights) {
+  Rng rng(42);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_choice(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.6, 0.02);
+}
+
+TEST(Rng, WeightedChoiceAllZeroIsUniform) {
+  Rng rng(42);
+  const std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 9000; ++i) ++counts[rng.weighted_choice(weights)];
+  for (const int c : counts) EXPECT_GT(c, 2000);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(42);
+  const auto perm = rng.permutation(100);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(42);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 20u);
+  for (const auto s : sample) EXPECT_LT(s, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(42);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(42);
+  for (const double alpha : {0.1, 0.5, 1.0, 10.0}) {
+    const auto sample = rng.dirichlet(alpha, 8);
+    double total = 0.0;
+    for (const double s : sample) {
+      EXPECT_GE(s, 0.0);
+      total += s;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletSmallAlphaIsSpiky) {
+  Rng rng(42);
+  // With alpha = 0.05 most mass concentrates on a few categories.
+  double max_mean = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto sample = rng.dirichlet(0.05, 10);
+    max_mean += *std::max_element(sample.begin(), sample.end());
+  }
+  EXPECT_GT(max_mean / 100.0, 0.6);
+}
+
+TEST(Rng, DirichletLargeAlphaIsFlat) {
+  Rng rng(42);
+  double max_mean = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto sample = rng.dirichlet(100.0, 10);
+    max_mean += *std::max_element(sample.begin(), sample.end());
+  }
+  EXPECT_LT(max_mean / 100.0, 0.2);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(42);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6};
+  rng.shuffle(values);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+}  // namespace
+}  // namespace tanglefl

@@ -1,0 +1,90 @@
+#include "support/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tanglefl {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(to_hex(hasher.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes: padding spills into a second block.
+  const std::string msg(64, 'x');
+  const auto digest = Sha256::hash(msg);
+  // Same input, streamed in odd-sized chunks, must agree.
+  Sha256 hasher;
+  hasher.update(msg.substr(0, 7));
+  hasher.update(msg.substr(7, 31));
+  hasher.update(msg.substr(38));
+  EXPECT_EQ(to_hex(hasher.finish()), to_hex(digest));
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes fits length in one block; 56 forces an extra block.
+  const auto d55 = Sha256::hash(std::string(55, 'y'));
+  const auto d56 = Sha256::hash(std::string(56, 'y'));
+  EXPECT_NE(to_hex(d55), to_hex(d56));
+}
+
+TEST(Sha256, ResetRestoresInitialState) {
+  Sha256 hasher;
+  hasher.update("garbage");
+  hasher.reset();
+  hasher.update("abc");
+  EXPECT_EQ(to_hex(hasher.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, DifferentInputsDiffer) {
+  EXPECT_NE(to_hex(Sha256::hash("model-a")), to_hex(Sha256::hash("model-b")));
+}
+
+TEST(Sha256, LeadingZeroBitsAllZero) {
+  Sha256Digest digest{};
+  EXPECT_EQ(leading_zero_bits(digest), 256);
+}
+
+TEST(Sha256, LeadingZeroBitsTopBitSet) {
+  Sha256Digest digest{};
+  digest[0] = 0x80;
+  EXPECT_EQ(leading_zero_bits(digest), 0);
+}
+
+TEST(Sha256, LeadingZeroBitsPartialByte) {
+  Sha256Digest digest{};
+  digest[0] = 0x00;
+  digest[1] = 0x10;  // 0001 0000 -> 8 + 3 leading zeros
+  EXPECT_EQ(leading_zero_bits(digest), 11);
+}
+
+TEST(Sha256, HexEncodingLength) {
+  EXPECT_EQ(to_hex(Sha256::hash("x")).size(), 64u);
+}
+
+}  // namespace
+}  // namespace tanglefl

@@ -1,0 +1,218 @@
+#include "core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/femnist_synth.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace tanglefl::core {
+namespace {
+
+data::FederatedDataset small_dataset(std::uint64_t seed = 3) {
+  data::FemnistSynthConfig config;
+  config.num_users = 10;
+  config.num_classes = 3;
+  config.image_size = 8;
+  config.mean_samples_per_user = 15.0;
+  config.seed = seed;
+  return data::make_femnist_synth(config);
+}
+
+nn::ModelFactory small_factory() {
+  nn::ImageCnnConfig config;
+  config.image_size = 8;
+  config.num_classes = 3;
+  config.conv1_channels = 2;
+  config.conv2_channels = 4;
+  config.hidden = 8;
+  return [config] { return nn::make_image_cnn(config); };
+}
+
+SimulationConfig fast_config(std::size_t rounds = 4) {
+  SimulationConfig config;
+  config.rounds = rounds;
+  config.nodes_per_round = 4;
+  config.eval_every = 2;
+  config.eval_nodes_fraction = 0.5;
+  config.node.training.epochs = 1;
+  config.node.training.sgd.learning_rate = 0.05;
+  config.seed = 1;
+  return config;
+}
+
+TEST(Simulation, TangleGrowsAcrossRounds) {
+  const auto dataset = small_dataset();
+  TangleSimulation sim(dataset, small_factory(), fast_config());
+  EXPECT_EQ(sim.tangle().size(), 1u);  // genesis
+  sim.run_round(1);
+  const std::size_t after_one = sim.tangle().size();
+  EXPECT_GT(after_one, 1u);
+  sim.run_round(2);
+  EXPECT_GT(sim.tangle().size(), after_one);
+}
+
+TEST(Simulation, RoundVisibilityBarrier) {
+  // Every transaction may only approve transactions from strictly earlier
+  // rounds (Section IV: published transactions become visible in the next
+  // round).
+  const auto dataset = small_dataset();
+  TangleSimulation sim(dataset, small_factory(), fast_config(5));
+  for (std::uint64_t r = 1; r <= 5; ++r) sim.run_round(r);
+
+  const tangle::Tangle& tangle = sim.tangle();
+  for (tangle::TxIndex i = 1; i < tangle.size(); ++i) {
+    for (const tangle::TxIndex p : tangle.parent_indices(i)) {
+      EXPECT_LT(tangle.transaction(p).round, tangle.transaction(i).round);
+    }
+  }
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  const auto dataset = small_dataset();
+  TangleSimulation a(dataset, small_factory(), fast_config());
+  TangleSimulation b(dataset, small_factory(), fast_config());
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  ASSERT_EQ(a.tangle().size(), b.tangle().size());
+  for (tangle::TxIndex i = 0; i < a.tangle().size(); ++i) {
+    EXPECT_EQ(to_hex(a.tangle().transaction(i).id),
+              to_hex(b.tangle().transaction(i).id));
+  }
+  ASSERT_EQ(ra.history.size(), rb.history.size());
+  for (std::size_t i = 0; i < ra.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.history[i].accuracy, rb.history[i].accuracy);
+  }
+}
+
+TEST(Simulation, DeterministicAcrossThreadCounts) {
+  const auto dataset = small_dataset();
+  SimulationConfig one = fast_config();
+  one.threads = 1;
+  SimulationConfig four = fast_config();
+  four.threads = 4;
+  TangleSimulation a(dataset, small_factory(), one);
+  TangleSimulation b(dataset, small_factory(), four);
+  (void)a.run();
+  (void)b.run();
+  ASSERT_EQ(a.tangle().size(), b.tangle().size());
+  for (tangle::TxIndex i = 0; i < a.tangle().size(); ++i) {
+    EXPECT_EQ(to_hex(a.tangle().transaction(i).id),
+              to_hex(b.tangle().transaction(i).id));
+  }
+}
+
+TEST(Simulation, SeedChangesOutcome) {
+  const auto dataset = small_dataset();
+  SimulationConfig other = fast_config();
+  other.seed = 99;
+  TangleSimulation a(dataset, small_factory(), fast_config());
+  TangleSimulation b(dataset, small_factory(), other);
+  (void)a.run();
+  (void)b.run();
+  EXPECT_NE(to_hex(a.tangle().transaction(0).id),
+            to_hex(b.tangle().transaction(0).id));
+}
+
+TEST(Simulation, EvaluateProducesPopulatedRecord) {
+  const auto dataset = small_dataset();
+  TangleSimulation sim(dataset, small_factory(), fast_config());
+  sim.run_round(1);
+  const RoundRecord record = sim.evaluate(1);
+  EXPECT_EQ(record.round, 1u);
+  EXPECT_GT(record.tangle_size, 0u);
+  EXPECT_GT(record.tip_count, 0u);
+  EXPECT_GE(record.accuracy, 0.0);
+  EXPECT_LE(record.accuracy, 1.0);
+  EXPECT_GT(record.loss, 0.0);
+}
+
+TEST(Simulation, RunReturnsHistoryAtCadence) {
+  const auto dataset = small_dataset();
+  SimulationConfig config = fast_config(6);
+  config.eval_every = 2;
+  TangleSimulation sim(dataset, small_factory(), config);
+  const RunResult result = sim.run();
+  ASSERT_EQ(result.history.size(), 3u);  // rounds 2, 4, 6
+  EXPECT_EQ(result.history[0].round, 2u);
+  EXPECT_EQ(result.history[2].round, 6u);
+}
+
+TEST(Simulation, NoMaliciousUsersWithoutAttack) {
+  const auto dataset = small_dataset();
+  SimulationConfig config = fast_config();
+  config.malicious_fraction = 0.5;  // ignored without an attack type
+  TangleSimulation sim(dataset, small_factory(), config);
+  EXPECT_TRUE(sim.malicious_users().empty());
+}
+
+TEST(Simulation, MaliciousFractionSetsUserCount) {
+  const auto dataset = small_dataset();
+  SimulationConfig config = fast_config();
+  config.attack = AttackType::kRandomPoison;
+  config.malicious_fraction = 0.3;
+  TangleSimulation sim(dataset, small_factory(), config);
+  EXPECT_EQ(sim.malicious_users().size(), 3u);  // 30% of 10
+}
+
+TEST(Simulation, AttackRespectsStartRound) {
+  const auto dataset = small_dataset();
+  SimulationConfig config = fast_config(6);
+  config.attack = AttackType::kRandomPoison;
+  config.malicious_fraction = 0.5;
+  config.attack_start_round = 4;
+  TangleSimulation sim(dataset, small_factory(), config);
+  (void)sim.run();
+
+  for (tangle::TxIndex i = 1; i < sim.tangle().size(); ++i) {
+    const auto& tx = sim.tangle().transaction(i);
+    if (tx.publisher == "malicious") {
+      EXPECT_GE(tx.round, 4u);
+    }
+  }
+}
+
+TEST(Simulation, RandomPoisonAttackInjectsTransactions) {
+  const auto dataset = small_dataset();
+  SimulationConfig config = fast_config(4);
+  config.attack = AttackType::kRandomPoison;
+  config.malicious_fraction = 0.5;
+  config.attack_start_round = 1;
+  TangleSimulation sim(dataset, small_factory(), config);
+  (void)sim.run();
+
+  std::size_t malicious = 0;
+  for (tangle::TxIndex i = 1; i < sim.tangle().size(); ++i) {
+    if (sim.tangle().transaction(i).publisher == "malicious") ++malicious;
+  }
+  EXPECT_GT(malicious, 0u);
+}
+
+TEST(Simulation, ConsensusParamsHaveModelSize) {
+  const auto dataset = small_dataset();
+  TangleSimulation sim(dataset, small_factory(), fast_config());
+  sim.run_round(1);
+  EXPECT_EQ(sim.consensus_params().size(),
+            small_factory()().parameter_count());
+}
+
+TEST(Simulation, AutoConfidenceSamplesFollowNodesPerRound) {
+  // Covered indirectly: construction must not throw and produce a valid
+  // run when auto_confidence_samples is on (default).
+  const auto dataset = small_dataset();
+  SimulationConfig config = fast_config(2);
+  config.auto_confidence_samples = true;
+  TangleSimulation sim(dataset, small_factory(), config);
+  const RunResult result = sim.run();
+  EXPECT_FALSE(result.history.empty());
+}
+
+TEST(RunResult, RoundsToAccuracy) {
+  RunResult result;
+  result.history = {{10, 0.3}, {20, 0.6}, {30, 0.8}};
+  EXPECT_EQ(result.rounds_to_accuracy(0.5), 20);
+  EXPECT_EQ(result.rounds_to_accuracy(0.9), -1);
+  EXPECT_DOUBLE_EQ(result.final_accuracy(), 0.8);
+}
+
+}  // namespace
+}  // namespace tanglefl::core

@@ -1,0 +1,196 @@
+#include "data/training.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/femnist_synth.hpp"
+#include "data/shakespeare_synth.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace tanglefl::data {
+namespace {
+
+/// Linearly separable two-class toy data.
+DataSplit make_separable(std::size_t n, Rng& rng) {
+  DataSplit split;
+  split.features = nn::Tensor({n, 2});
+  split.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = i % 2 == 0;
+    split.features.at(i, 0) =
+        static_cast<float>(rng.normal()) + (positive ? 2.0f : -2.0f);
+    split.features.at(i, 1) = static_cast<float>(rng.normal());
+    split.labels[i] = positive ? 1 : 0;
+  }
+  return split;
+}
+
+TEST(Training, LearnsSeparableData) {
+  Rng rng(1);
+  const DataSplit train = make_separable(64, rng);
+  const DataSplit test = make_separable(32, rng);
+
+  nn::Model model = nn::make_mlp(2, 8, 2);
+  Rng init_rng(2);
+  model.init(init_rng);
+  EXPECT_LT(evaluate(model, test).accuracy, 0.9);
+
+  TrainConfig config;
+  config.epochs = 10;
+  config.batch_size = 8;
+  config.sgd.learning_rate = 0.1;
+  Rng train_rng(3);
+  const double final_loss = train_local(model, train, config, train_rng);
+  EXPECT_LT(final_loss, 0.3);
+  EXPECT_GT(evaluate(model, test).accuracy, 0.9);
+}
+
+TEST(Training, EmptySplitIsNoop) {
+  nn::Model model = nn::make_mlp(2, 4, 2);
+  Rng init_rng(1);
+  model.init(init_rng);
+  const std::vector<float> before = model.get_parameters();
+  TrainConfig config;
+  Rng rng(2);
+  EXPECT_EQ(train_local(model, DataSplit{}, config, rng), 0.0);
+  EXPECT_EQ(model.get_parameters(), before);
+}
+
+TEST(Training, DeterministicInRngStream) {
+  Rng data_rng(1);
+  const DataSplit train = make_separable(32, data_rng);
+  TrainConfig config;
+  config.epochs = 2;
+  config.sgd.learning_rate = 0.05;
+
+  nn::Model a = nn::make_mlp(2, 4, 2);
+  nn::Model b = nn::make_mlp(2, 4, 2);
+  Rng init_a(9), init_b(9);
+  a.init(init_a);
+  b.init(init_b);
+  Rng train_a(5), train_b(5);
+  (void)train_local(a, train, config, train_a);
+  (void)train_local(b, train, config, train_b);
+  EXPECT_EQ(a.get_parameters(), b.get_parameters());
+}
+
+TEST(Training, MoreEpochsReduceTrainLoss) {
+  Rng data_rng(1);
+  const DataSplit train = make_separable(48, data_rng);
+
+  const auto run = [&](std::size_t epochs) {
+    nn::Model model = nn::make_mlp(2, 8, 2);
+    Rng init_rng(4);
+    model.init(init_rng);
+    TrainConfig config;
+    config.epochs = epochs;
+    config.sgd.learning_rate = 0.05;
+    Rng rng(5);
+    (void)train_local(model, train, config, rng);
+    return evaluate(model, train).loss;
+  };
+  EXPECT_LT(run(8), run(1));
+}
+
+TEST(Evaluate, EmptySplit) {
+  nn::Model model = nn::make_mlp(2, 4, 2);
+  Rng rng(1);
+  model.init(rng);
+  const EvalResult result = evaluate(model, DataSplit{});
+  EXPECT_EQ(result.samples, 0u);
+  EXPECT_EQ(result.accuracy, 0.0);
+}
+
+TEST(Evaluate, BatchSizeDoesNotChangeResult) {
+  Rng data_rng(2);
+  const DataSplit test = make_separable(33, data_rng);
+  nn::Model model = nn::make_mlp(2, 4, 2);
+  Rng init_rng(3);
+  model.init(init_rng);
+  const EvalResult a = evaluate(model, test, 8);
+  const EvalResult b = evaluate(model, test, 100);
+  EXPECT_NEAR(a.loss, b.loss, 1e-5);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+}
+
+TEST(Training, CnnLearnsFemnistUser) {
+  // A single writer's data must be learnable to high train accuracy — the
+  // overfitting-on-local-data behaviour decentralized learning fights.
+  FemnistSynthConfig data_config;
+  data_config.num_users = 2;
+  data_config.num_classes = 3;
+  data_config.image_size = 10;
+  data_config.mean_samples_per_user = 60.0;
+  data_config.seed = 5;
+  const FederatedDataset dataset = make_femnist_synth(data_config);
+
+  nn::ImageCnnConfig model_config;
+  model_config.image_size = 10;
+  model_config.num_classes = 3;
+  nn::Model model = nn::make_image_cnn(model_config);
+  Rng init_rng(6);
+  model.init(init_rng);
+
+  TrainConfig config;
+  config.epochs = 8;
+  config.sgd.learning_rate = 0.05;
+  Rng rng(7);
+  (void)train_local(model, dataset.user(0).train, config, rng);
+  EXPECT_GT(evaluate(model, dataset.user(0).train).accuracy, 0.8);
+}
+
+TEST(Training, LstmReducesCharLmLoss) {
+  ShakespeareSynthConfig data_config;
+  data_config.num_users = 2;
+  data_config.vocab_size = 10;
+  data_config.seq_length = 8;
+  data_config.mean_chars_per_user = 1500.0;
+  data_config.min_samples_per_user = 32;
+  data_config.seed = 8;
+  const FederatedDataset dataset = make_shakespeare_synth(data_config);
+  ASSERT_GT(dataset.num_users(), 0u);
+
+  nn::CharLstmConfig model_config;
+  model_config.vocab_size = 10;
+  model_config.seq_length = 8;
+  model_config.embedding_dim = 16;
+  model_config.hidden_dim = 48;
+  nn::Model model = nn::make_char_lstm(model_config);
+  Rng init_rng(9);
+  model.init(init_rng);
+
+  const double before = evaluate(model, dataset.user(0).train).loss;
+  TrainConfig config;
+  config.epochs = 10;
+  config.sgd.learning_rate = 1.0;
+  config.sgd.grad_clip = 5.0;
+  Rng rng(10);
+  (void)train_local(model, dataset.user(0).train, config, rng);
+  const double after = evaluate(model, dataset.user(0).train).loss;
+  EXPECT_LT(after, before - 0.1);
+}
+
+TEST(TargetedMisclassification, CountsOnlySourceClass) {
+  // Construct a model-free check through a trivially predictable model: a
+  // single linear layer with weights forcing argmax to class 1 always.
+  nn::Model model;
+  model.emplace<nn::Linear>(2, 3);
+  std::vector<float> params(model.parameter_count(), 0.0f);
+  params[1] = 1.0f;  // W(0,1): feature 0 pushes class 1
+  model.set_parameters(params);
+
+  DataSplit split;
+  split.features = nn::Tensor({4, 2});
+  for (std::size_t i = 0; i < 4; ++i) split.features.at(i, 0) = 1.0f;
+  split.labels = {0, 0, 1, 2};
+
+  // All predictions are class 1; of the two source-class (0) samples, both
+  // are predicted as target 1 -> rate 1.0.
+  EXPECT_DOUBLE_EQ(targeted_misclassification_rate(model, split, 0, 1), 1.0);
+  // Source class 2: one sample, predicted 1, target 2 -> rate 0.
+  EXPECT_DOUBLE_EQ(targeted_misclassification_rate(model, split, 2, 2), 0.0);
+  // No samples of class 5 -> rate 0 by definition.
+  EXPECT_DOUBLE_EQ(targeted_misclassification_rate(model, split, 5, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace tanglefl::data
