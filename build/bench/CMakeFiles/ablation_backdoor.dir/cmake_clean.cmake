@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backdoor.dir/ablation_backdoor.cpp.o"
+  "CMakeFiles/ablation_backdoor.dir/ablation_backdoor.cpp.o.d"
+  "ablation_backdoor"
+  "ablation_backdoor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backdoor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

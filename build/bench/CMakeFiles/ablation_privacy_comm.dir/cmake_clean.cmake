@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_privacy_comm.dir/ablation_privacy_comm.cpp.o"
+  "CMakeFiles/ablation_privacy_comm.dir/ablation_privacy_comm.cpp.o.d"
+  "ablation_privacy_comm"
+  "ablation_privacy_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_privacy_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_random_poison.dir/fig5_random_poison.cpp.o"
+  "CMakeFiles/fig5_random_poison.dir/fig5_random_poison.cpp.o.d"
+  "fig5_random_poison"
+  "fig5_random_poison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_random_poison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_label_flip.dir/fig6_label_flip.cpp.o"
+  "CMakeFiles/fig6_label_flip.dir/fig6_label_flip.cpp.o.d"
+  "fig6_label_flip"
+  "fig6_label_flip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_label_flip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

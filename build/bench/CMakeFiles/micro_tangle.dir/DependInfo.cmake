@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_tangle.cpp" "bench/CMakeFiles/micro_tangle.dir/micro_tangle.cpp.o" "gcc" "bench/CMakeFiles/micro_tangle.dir/micro_tangle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tanglefl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedavg/CMakeFiles/tanglefl_fedavg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tangle/CMakeFiles/tanglefl_tangle.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tanglefl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tanglefl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tanglefl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tangle.dir/micro_tangle.cpp.o"
+  "CMakeFiles/micro_tangle.dir/micro_tangle.cpp.o.d"
+  "micro_tangle"
+  "micro_tangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedavg_vs_tangle.dir/fedavg_vs_tangle.cpp.o"
+  "CMakeFiles/fedavg_vs_tangle.dir/fedavg_vs_tangle.cpp.o.d"
+  "fedavg_vs_tangle"
+  "fedavg_vs_tangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedavg_vs_tangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

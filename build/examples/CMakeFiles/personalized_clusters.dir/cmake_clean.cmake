@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalized_clusters.dir/personalized_clusters.cpp.o"
+  "CMakeFiles/personalized_clusters.dir/personalized_clusters.cpp.o.d"
+  "personalized_clusters"
+  "personalized_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalized_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

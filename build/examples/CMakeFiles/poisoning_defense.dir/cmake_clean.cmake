@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisoning_defense.dir/poisoning_defense.cpp.o"
+  "CMakeFiles/poisoning_defense.dir/poisoning_defense.cpp.o.d"
+  "poisoning_defense"
+  "poisoning_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisoning_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

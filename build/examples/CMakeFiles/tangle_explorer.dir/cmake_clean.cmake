@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tangle_explorer.dir/tangle_explorer.cpp.o"
+  "CMakeFiles/tangle_explorer.dir/tangle_explorer.cpp.o.d"
+  "tangle_explorer"
+  "tangle_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tangle_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

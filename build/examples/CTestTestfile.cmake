@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--rounds" "4" "--users" "8" "--nodes-per-round" "3")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_poisoning_defense "/root/repo/build/examples/poisoning_defense" "--pretrain-rounds" "4" "--attack-rounds" "4")
+set_tests_properties(example_poisoning_defense PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_model "/root/repo/build/examples/custom_model" "--rounds" "4")
+set_tests_properties(example_custom_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tangle_explorer "/root/repo/build/examples/tangle_explorer" "--rounds" "4" "--dot" "/tmp/tanglefl_smoke.dot")
+set_tests_properties(example_tangle_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fedavg_vs_tangle "/root/repo/build/examples/fedavg_vs_tangle" "--rounds" "6" "--nodes" "4")
+set_tests_properties(example_fedavg_vs_tangle PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_personalized_clusters "/root/repo/build/examples/personalized_clusters" "--rounds" "6" "--per-cluster" "5")
+set_tests_properties(example_personalized_clusters PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

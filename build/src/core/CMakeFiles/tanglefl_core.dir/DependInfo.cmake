@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/async_simulation.cpp" "src/core/CMakeFiles/tanglefl_core.dir/async_simulation.cpp.o" "gcc" "src/core/CMakeFiles/tanglefl_core.dir/async_simulation.cpp.o.d"
+  "/root/repo/src/core/biased_walk.cpp" "src/core/CMakeFiles/tanglefl_core.dir/biased_walk.cpp.o" "gcc" "src/core/CMakeFiles/tanglefl_core.dir/biased_walk.cpp.o.d"
+  "/root/repo/src/core/gossip_simulation.cpp" "src/core/CMakeFiles/tanglefl_core.dir/gossip_simulation.cpp.o" "gcc" "src/core/CMakeFiles/tanglefl_core.dir/gossip_simulation.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/tanglefl_core.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/tanglefl_core.dir/node.cpp.o.d"
+  "/root/repo/src/core/reference.cpp" "src/core/CMakeFiles/tanglefl_core.dir/reference.cpp.o" "gcc" "src/core/CMakeFiles/tanglefl_core.dir/reference.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/tanglefl_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/tanglefl_core.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tangle/CMakeFiles/tanglefl_tangle.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tanglefl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tanglefl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tanglefl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

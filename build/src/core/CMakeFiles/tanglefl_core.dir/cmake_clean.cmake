@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tanglefl_core.dir/async_simulation.cpp.o"
+  "CMakeFiles/tanglefl_core.dir/async_simulation.cpp.o.d"
+  "CMakeFiles/tanglefl_core.dir/biased_walk.cpp.o"
+  "CMakeFiles/tanglefl_core.dir/biased_walk.cpp.o.d"
+  "CMakeFiles/tanglefl_core.dir/gossip_simulation.cpp.o"
+  "CMakeFiles/tanglefl_core.dir/gossip_simulation.cpp.o.d"
+  "CMakeFiles/tanglefl_core.dir/node.cpp.o"
+  "CMakeFiles/tanglefl_core.dir/node.cpp.o.d"
+  "CMakeFiles/tanglefl_core.dir/reference.cpp.o"
+  "CMakeFiles/tanglefl_core.dir/reference.cpp.o.d"
+  "CMakeFiles/tanglefl_core.dir/simulation.cpp.o"
+  "CMakeFiles/tanglefl_core.dir/simulation.cpp.o.d"
+  "libtanglefl_core.a"
+  "libtanglefl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tanglefl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/tanglefl_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/tanglefl_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/femnist_synth.cpp" "src/data/CMakeFiles/tanglefl_data.dir/femnist_synth.cpp.o" "gcc" "src/data/CMakeFiles/tanglefl_data.dir/femnist_synth.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "src/data/CMakeFiles/tanglefl_data.dir/partition.cpp.o" "gcc" "src/data/CMakeFiles/tanglefl_data.dir/partition.cpp.o.d"
+  "/root/repo/src/data/poison.cpp" "src/data/CMakeFiles/tanglefl_data.dir/poison.cpp.o" "gcc" "src/data/CMakeFiles/tanglefl_data.dir/poison.cpp.o.d"
+  "/root/repo/src/data/shakespeare_synth.cpp" "src/data/CMakeFiles/tanglefl_data.dir/shakespeare_synth.cpp.o" "gcc" "src/data/CMakeFiles/tanglefl_data.dir/shakespeare_synth.cpp.o.d"
+  "/root/repo/src/data/training.cpp" "src/data/CMakeFiles/tanglefl_data.dir/training.cpp.o" "gcc" "src/data/CMakeFiles/tanglefl_data.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tanglefl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tanglefl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tanglefl_data.dir/dataset.cpp.o"
+  "CMakeFiles/tanglefl_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/tanglefl_data.dir/femnist_synth.cpp.o"
+  "CMakeFiles/tanglefl_data.dir/femnist_synth.cpp.o.d"
+  "CMakeFiles/tanglefl_data.dir/partition.cpp.o"
+  "CMakeFiles/tanglefl_data.dir/partition.cpp.o.d"
+  "CMakeFiles/tanglefl_data.dir/poison.cpp.o"
+  "CMakeFiles/tanglefl_data.dir/poison.cpp.o.d"
+  "CMakeFiles/tanglefl_data.dir/shakespeare_synth.cpp.o"
+  "CMakeFiles/tanglefl_data.dir/shakespeare_synth.cpp.o.d"
+  "CMakeFiles/tanglefl_data.dir/training.cpp.o"
+  "CMakeFiles/tanglefl_data.dir/training.cpp.o.d"
+  "libtanglefl_data.a"
+  "libtanglefl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tanglefl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

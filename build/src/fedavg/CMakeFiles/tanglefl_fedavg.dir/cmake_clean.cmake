@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tanglefl_fedavg.dir/fedavg.cpp.o"
+  "CMakeFiles/tanglefl_fedavg.dir/fedavg.cpp.o.d"
+  "CMakeFiles/tanglefl_fedavg.dir/krum.cpp.o"
+  "CMakeFiles/tanglefl_fedavg.dir/krum.cpp.o.d"
+  "libtanglefl_fedavg.a"
+  "libtanglefl_fedavg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tanglefl_fedavg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

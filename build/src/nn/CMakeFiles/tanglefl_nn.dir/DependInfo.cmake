@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layers_basic.cpp" "src/nn/CMakeFiles/tanglefl_nn.dir/layers_basic.cpp.o" "gcc" "src/nn/CMakeFiles/tanglefl_nn.dir/layers_basic.cpp.o.d"
+  "/root/repo/src/nn/layers_conv.cpp" "src/nn/CMakeFiles/tanglefl_nn.dir/layers_conv.cpp.o" "gcc" "src/nn/CMakeFiles/tanglefl_nn.dir/layers_conv.cpp.o.d"
+  "/root/repo/src/nn/layers_recurrent.cpp" "src/nn/CMakeFiles/tanglefl_nn.dir/layers_recurrent.cpp.o" "gcc" "src/nn/CMakeFiles/tanglefl_nn.dir/layers_recurrent.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/tanglefl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/tanglefl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/tanglefl_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/tanglefl_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/tanglefl_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/tanglefl_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/nn/CMakeFiles/tanglefl_nn.dir/ops.cpp.o" "gcc" "src/nn/CMakeFiles/tanglefl_nn.dir/ops.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/tanglefl_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/tanglefl_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/params.cpp" "src/nn/CMakeFiles/tanglefl_nn.dir/params.cpp.o" "gcc" "src/nn/CMakeFiles/tanglefl_nn.dir/params.cpp.o.d"
+  "/root/repo/src/nn/privacy.cpp" "src/nn/CMakeFiles/tanglefl_nn.dir/privacy.cpp.o" "gcc" "src/nn/CMakeFiles/tanglefl_nn.dir/privacy.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/tanglefl_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/tanglefl_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tanglefl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

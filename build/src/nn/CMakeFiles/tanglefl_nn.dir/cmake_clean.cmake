@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tanglefl_nn.dir/layers_basic.cpp.o"
+  "CMakeFiles/tanglefl_nn.dir/layers_basic.cpp.o.d"
+  "CMakeFiles/tanglefl_nn.dir/layers_conv.cpp.o"
+  "CMakeFiles/tanglefl_nn.dir/layers_conv.cpp.o.d"
+  "CMakeFiles/tanglefl_nn.dir/layers_recurrent.cpp.o"
+  "CMakeFiles/tanglefl_nn.dir/layers_recurrent.cpp.o.d"
+  "CMakeFiles/tanglefl_nn.dir/loss.cpp.o"
+  "CMakeFiles/tanglefl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/tanglefl_nn.dir/model.cpp.o"
+  "CMakeFiles/tanglefl_nn.dir/model.cpp.o.d"
+  "CMakeFiles/tanglefl_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/tanglefl_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/tanglefl_nn.dir/ops.cpp.o"
+  "CMakeFiles/tanglefl_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/tanglefl_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/tanglefl_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/tanglefl_nn.dir/params.cpp.o"
+  "CMakeFiles/tanglefl_nn.dir/params.cpp.o.d"
+  "CMakeFiles/tanglefl_nn.dir/privacy.cpp.o"
+  "CMakeFiles/tanglefl_nn.dir/privacy.cpp.o.d"
+  "CMakeFiles/tanglefl_nn.dir/tensor.cpp.o"
+  "CMakeFiles/tanglefl_nn.dir/tensor.cpp.o.d"
+  "libtanglefl_nn.a"
+  "libtanglefl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tanglefl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

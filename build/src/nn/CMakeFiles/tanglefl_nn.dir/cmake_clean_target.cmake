@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtanglefl_nn.a"
+)

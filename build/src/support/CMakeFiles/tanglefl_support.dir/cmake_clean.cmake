@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tanglefl_support.dir/cli.cpp.o"
+  "CMakeFiles/tanglefl_support.dir/cli.cpp.o.d"
+  "CMakeFiles/tanglefl_support.dir/log.cpp.o"
+  "CMakeFiles/tanglefl_support.dir/log.cpp.o.d"
+  "CMakeFiles/tanglefl_support.dir/rng.cpp.o"
+  "CMakeFiles/tanglefl_support.dir/rng.cpp.o.d"
+  "CMakeFiles/tanglefl_support.dir/serialize.cpp.o"
+  "CMakeFiles/tanglefl_support.dir/serialize.cpp.o.d"
+  "CMakeFiles/tanglefl_support.dir/sha256.cpp.o"
+  "CMakeFiles/tanglefl_support.dir/sha256.cpp.o.d"
+  "CMakeFiles/tanglefl_support.dir/table.cpp.o"
+  "CMakeFiles/tanglefl_support.dir/table.cpp.o.d"
+  "CMakeFiles/tanglefl_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/tanglefl_support.dir/thread_pool.cpp.o.d"
+  "libtanglefl_support.a"
+  "libtanglefl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tanglefl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tangle/checkpoint.cpp" "src/tangle/CMakeFiles/tanglefl_tangle.dir/checkpoint.cpp.o" "gcc" "src/tangle/CMakeFiles/tanglefl_tangle.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/tangle/confidence.cpp" "src/tangle/CMakeFiles/tanglefl_tangle.dir/confidence.cpp.o" "gcc" "src/tangle/CMakeFiles/tanglefl_tangle.dir/confidence.cpp.o.d"
+  "/root/repo/src/tangle/dot_export.cpp" "src/tangle/CMakeFiles/tanglefl_tangle.dir/dot_export.cpp.o" "gcc" "src/tangle/CMakeFiles/tanglefl_tangle.dir/dot_export.cpp.o.d"
+  "/root/repo/src/tangle/model_store.cpp" "src/tangle/CMakeFiles/tanglefl_tangle.dir/model_store.cpp.o" "gcc" "src/tangle/CMakeFiles/tanglefl_tangle.dir/model_store.cpp.o.d"
+  "/root/repo/src/tangle/pow.cpp" "src/tangle/CMakeFiles/tanglefl_tangle.dir/pow.cpp.o" "gcc" "src/tangle/CMakeFiles/tanglefl_tangle.dir/pow.cpp.o.d"
+  "/root/repo/src/tangle/tangle.cpp" "src/tangle/CMakeFiles/tanglefl_tangle.dir/tangle.cpp.o" "gcc" "src/tangle/CMakeFiles/tanglefl_tangle.dir/tangle.cpp.o.d"
+  "/root/repo/src/tangle/tip_selection.cpp" "src/tangle/CMakeFiles/tanglefl_tangle.dir/tip_selection.cpp.o" "gcc" "src/tangle/CMakeFiles/tanglefl_tangle.dir/tip_selection.cpp.o.d"
+  "/root/repo/src/tangle/transaction.cpp" "src/tangle/CMakeFiles/tanglefl_tangle.dir/transaction.cpp.o" "gcc" "src/tangle/CMakeFiles/tanglefl_tangle.dir/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tanglefl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tanglefl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tanglefl_tangle.dir/checkpoint.cpp.o"
+  "CMakeFiles/tanglefl_tangle.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/tanglefl_tangle.dir/confidence.cpp.o"
+  "CMakeFiles/tanglefl_tangle.dir/confidence.cpp.o.d"
+  "CMakeFiles/tanglefl_tangle.dir/dot_export.cpp.o"
+  "CMakeFiles/tanglefl_tangle.dir/dot_export.cpp.o.d"
+  "CMakeFiles/tanglefl_tangle.dir/model_store.cpp.o"
+  "CMakeFiles/tanglefl_tangle.dir/model_store.cpp.o.d"
+  "CMakeFiles/tanglefl_tangle.dir/pow.cpp.o"
+  "CMakeFiles/tanglefl_tangle.dir/pow.cpp.o.d"
+  "CMakeFiles/tanglefl_tangle.dir/tangle.cpp.o"
+  "CMakeFiles/tanglefl_tangle.dir/tangle.cpp.o.d"
+  "CMakeFiles/tanglefl_tangle.dir/tip_selection.cpp.o"
+  "CMakeFiles/tanglefl_tangle.dir/tip_selection.cpp.o.d"
+  "CMakeFiles/tanglefl_tangle.dir/transaction.cpp.o"
+  "CMakeFiles/tanglefl_tangle.dir/transaction.cpp.o.d"
+  "libtanglefl_tangle.a"
+  "libtanglefl_tangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tanglefl_tangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_simulation.dir/test_async_simulation.cpp.o"
+  "CMakeFiles/test_async_simulation.dir/test_async_simulation.cpp.o.d"
+  "test_async_simulation"
+  "test_async_simulation.pdb"
+  "test_async_simulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backdoor.dir/test_backdoor.cpp.o"
+  "CMakeFiles/test_backdoor.dir/test_backdoor.cpp.o.d"
+  "test_backdoor"
+  "test_backdoor.pdb"
+  "test_backdoor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backdoor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_biased_walk.dir/test_biased_walk.cpp.o"
+  "CMakeFiles/test_biased_walk.dir/test_biased_walk.cpp.o.d"
+  "test_biased_walk"
+  "test_biased_walk.pdb"
+  "test_biased_walk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_biased_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_femnist.dir/test_femnist.cpp.o"
+  "CMakeFiles/test_femnist.dir/test_femnist.cpp.o.d"
+  "test_femnist"
+  "test_femnist.pdb"
+  "test_femnist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_femnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_krum.dir/test_krum.cpp.o"
+  "CMakeFiles/test_krum.dir/test_krum.cpp.o.d"
+  "test_krum"
+  "test_krum.pdb"
+  "test_krum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_krum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poison.dir/test_poison.cpp.o"
+  "CMakeFiles/test_poison.dir/test_poison.cpp.o.d"
+  "test_poison"
+  "test_poison.pdb"
+  "test_poison[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

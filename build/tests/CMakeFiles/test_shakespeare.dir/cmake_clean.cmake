@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shakespeare.dir/test_shakespeare.cpp.o"
+  "CMakeFiles/test_shakespeare.dir/test_shakespeare.cpp.o.d"
+  "test_shakespeare"
+  "test_shakespeare.pdb"
+  "test_shakespeare[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shakespeare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tangle.dir/test_tangle.cpp.o"
+  "CMakeFiles/test_tangle.dir/test_tangle.cpp.o.d"
+  "test_tangle"
+  "test_tangle.pdb"
+  "test_tangle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
