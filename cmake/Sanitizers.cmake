@@ -1,0 +1,66 @@
+# Sanitizer wiring for every target in the project.
+#
+# Usage:
+#   cmake -DTANGLEFL_SANITIZE=address,undefined ...   # asan + ubsan (composable)
+#   cmake -DTANGLEFL_SANITIZE=thread ...              # tsan
+#
+# The flags are applied with add_compile_options/add_link_options from the
+# top-level CMakeLists *before* any add_subdirectory, so they propagate to
+# every target in src/, tests/, bench/ and examples/ without per-target
+# plumbing. TSan is mutually exclusive with ASan/LSan by construction; the
+# module rejects that combination with a clear error instead of letting the
+# toolchain fail obscurely.
+
+set(TANGLEFL_SANITIZE "" CACHE STRING
+    "Comma/semicolon-separated sanitizers: address, undefined, thread")
+
+function(tanglefl_enable_sanitizers)
+  if(NOT TANGLEFL_SANITIZE)
+    return()
+  endif()
+
+  # Accept "address,undefined", "address;undefined", or "address+undefined".
+  string(REPLACE "," ";" _sans "${TANGLEFL_SANITIZE}")
+  string(REPLACE "+" ";" _sans "${_sans}")
+
+  set(_flags "")
+  set(_has_thread FALSE)
+  set(_has_address FALSE)
+  foreach(_san IN LISTS _sans)
+    string(STRIP "${_san}" _san)
+    string(TOLOWER "${_san}" _san)
+    if(_san STREQUAL "address" OR _san STREQUAL "asan")
+      list(APPEND _flags "-fsanitize=address")
+      set(_has_address TRUE)
+    elseif(_san STREQUAL "undefined" OR _san STREQUAL "ubsan")
+      list(APPEND _flags "-fsanitize=undefined" "-fno-sanitize-recover=all")
+    elseif(_san STREQUAL "thread" OR _san STREQUAL "tsan")
+      list(APPEND _flags "-fsanitize=thread")
+      set(_has_thread TRUE)
+    elseif(_san STREQUAL "")
+      # tolerate trailing separators
+    else()
+      message(FATAL_ERROR
+          "TANGLEFL_SANITIZE: unknown sanitizer '${_san}' "
+          "(expected address, undefined, and/or thread)")
+    endif()
+  endforeach()
+
+  if(_has_thread AND _has_address)
+    message(FATAL_ERROR
+        "TANGLEFL_SANITIZE: 'thread' cannot be combined with 'address'")
+  endif()
+
+  if(NOT _flags)
+    return()
+  endif()
+  list(REMOVE_DUPLICATES _flags)
+
+  # Keep frame pointers so sanitizer stacks are readable, and keep enough
+  # optimization that the stress tests still finish quickly.
+  list(APPEND _flags "-fno-omit-frame-pointer" "-g")
+
+  message(STATUS "tanglefl: sanitizers enabled: ${_flags}")
+  add_compile_options(${_flags})
+  add_link_options(${_flags})
+endfunction()

@@ -1,0 +1,63 @@
+// Debug invariant-checking primitives.
+//
+// TANGLEFL_DCHECK(cond) / TANGLEFL_DCHECK_MSG(cond, msg) verify internal
+// invariants that correct code can never violate. They are compiled in when
+// the build defines TANGLEFL_DEBUG_CHECKS (CMake option of the same name,
+// ON in the asan/tsan/debug presets) and compile to nothing in release
+// builds — the condition is not evaluated, but it is still type-checked so
+// checks cannot rot.
+//
+// A failed check throws tanglefl::CheckFailure (a std::logic_error), which
+// makes violations testable with EXPECT_THROW and lets the sanitizer
+// presets surface them as ordinary test failures with a readable message
+// instead of a raw abort().
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tanglefl {
+
+/// Thrown when a TANGLEFL_DCHECK fails. Derives from std::logic_error:
+/// a failed check is always a programming error, never an input error.
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expression, const char* file,
+                                      int line, const std::string& message) {
+  std::ostringstream out;
+  out << "TANGLEFL_DCHECK failed: " << expression << " at " << file << ':'
+      << line;
+  if (!message.empty()) out << " — " << message;
+  throw CheckFailure(out.str());
+}
+
+}  // namespace detail
+}  // namespace tanglefl
+
+#if defined(TANGLEFL_DEBUG_CHECKS)
+#define TANGLEFL_DCHECK(cond)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::tanglefl::detail::check_failed(#cond, __FILE__, __LINE__, {});      \
+    }                                                                       \
+  } while (false)
+#define TANGLEFL_DCHECK_MSG(cond, msg)                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::tanglefl::detail::check_failed(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                       \
+  } while (false)
+#else
+// The `false &&` keeps the expressions compiled (so they cannot bit-rot or
+// leave "unused variable" warnings behind) while guaranteeing they are
+// never evaluated at run time.
+#define TANGLEFL_DCHECK(cond) ((void)(false && static_cast<bool>(cond)))
+#define TANGLEFL_DCHECK_MSG(cond, msg) \
+  ((void)(false && ((void)(msg), static_cast<bool>(cond))))
+#endif

@@ -138,6 +138,10 @@ class ByteReader {
 
   void read_raw(void* out, std::size_t size) {
     if (size > remaining()) throw SerializeError("read past end of buffer");
+    // Empty reads short-circuit: `out` is null for empty vectors and
+    // memcpy's arguments are declared nonnull even for size 0 (UBSan flags
+    // the call).
+    if (size == 0) return;
     std::memcpy(out, data_.data() + offset_, size);
     offset_ += size;
   }

@@ -3,8 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace tanglefl {
+
+namespace {
+// Identifies which pool (if any) owns the current thread, so parallel_for
+// can detect re-entrant calls from its own workers and degrade to inline
+// serial execution instead of deadlocking.
+thread_local const ThreadPool* tls_owner_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -14,16 +22,25 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() noexcept {
   {
     std::scoped_lock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();  // joinable() makes shutdown idempotent
+  }
+}
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return tls_owner_pool == this;
 }
 
 void ThreadPool::worker_loop() {
+  tls_owner_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -40,8 +57,18 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  // Run small loops inline: the queueing overhead dominates otherwise.
-  if (n == 1 || workers_.size() == 1) {
+  {
+    std::scoped_lock lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error(
+          "ThreadPool::parallel_for: pool is shut down; work rejected");
+    }
+  }
+  // Inline cases: trivial loops (queueing overhead dominates), single-worker
+  // pools, and re-entrant calls from one of our own workers (queueing lanes
+  // and blocking on them from inside a worker deadlocks once every worker
+  // waits on work no thread is left to run).
+  if (n == 1 || workers_.size() == 1 || on_worker_thread()) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
@@ -51,24 +78,32 @@ void ThreadPool::parallel_for(std::size_t n,
   std::exception_ptr error;
   std::mutex error_mutex;
 
-  const std::size_t lanes = std::min(workers_.size(), n);
-  std::vector<std::future<void>> pending;
-  pending.reserve(lanes);
-  for (std::size_t lane = 0; lane < lanes; ++lane) {
-    pending.push_back(submit([&, next, first_error] {
-      for (;;) {
-        const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
-        if (i >= n || first_error->load(std::memory_order_relaxed)) return;
-        try {
-          body(i);
-        } catch (...) {
-          std::scoped_lock lock(error_mutex);
-          if (!first_error->exchange(true)) error = std::current_exception();
-          return;
-        }
+  // Lanes claim indices from the shared counter until exhaustion; the first
+  // thrown exception flips first_error, which drains the remaining lanes.
+  const auto run_lane = [&error, &error_mutex, &body, next, first_error, n] {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || first_error->load(std::memory_order_relaxed)) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error->exchange(true)) error = std::current_exception();
+        return;
       }
-    }));
+    }
+  };
+
+  // The calling thread is one of the lanes: it makes progress even when the
+  // workers are busy with other submitted tasks, and a pool of W workers
+  // yields W+1-way parallelism for the round loop.
+  const std::size_t lanes = std::min(workers_.size() + 1, n);
+  std::vector<std::future<void>> pending;
+  pending.reserve(lanes - 1);
+  for (std::size_t lane = 0; lane + 1 < lanes; ++lane) {
+    pending.push_back(submit(run_lane));
   }
+  run_lane();
   for (auto& f : pending) f.get();
   if (error) std::rethrow_exception(error);
 }

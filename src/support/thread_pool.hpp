@@ -1,7 +1,25 @@
 // Fixed-size worker pool with a blocking task queue and a structured
 // parallel_for helper. Used by the simulation engine to train the nodes of
-// one round concurrently; determinism is preserved because each task derives
-// its randomness from (seed, node id, round), never from scheduling order.
+// one round concurrently.
+//
+// Determinism contract: each task derives its randomness from
+// (seed, node id, round) via Rng::split, never from scheduling order, wall
+// clock, or address layout — so results are bit-identical for a given seed
+// regardless of thread count. tools/lint.py enforces the source-level side
+// of this contract (no rand()/std::random_device/unordered iteration in
+// the consensus code).
+//
+// Shutdown semantics: shutdown() (also run by the destructor) drains every
+// task already in the queue, then joins the workers. Once shutdown has
+// begun, submit() and parallel_for() throw std::runtime_error instead of
+// silently dropping work.
+//
+// Re-entrancy: parallel_for() called from one of this pool's own worker
+// threads runs the loop serially inline. Queueing sub-tasks and blocking
+// on them would deadlock as soon as every worker waits on lanes that no
+// thread is left to execute; inline execution keeps nested parallelism
+// well-defined (and deterministic) at the cost of not parallelizing the
+// inner loop.
 #pragma once
 
 #include <condition_variable>
@@ -10,6 +28,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -21,7 +40,7 @@ class ThreadPool {
   /// (minimum one worker either way).
   explicit ThreadPool(std::size_t threads = 0);
 
-  /// Drains outstanding tasks, then joins all workers.
+  /// Equivalent to shutdown().
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -29,8 +48,16 @@ class ThreadPool {
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
+  /// Drains outstanding tasks, then joins all workers. Idempotent; after
+  /// the first call submit() and parallel_for() reject new work. Must not
+  /// race with concurrent submit()/parallel_for() calls (shutting down a
+  /// pool other threads are still using is a caller bug; the sanitizer
+  /// presets will flag it).
+  void shutdown() noexcept;
+
   /// Enqueues `fn` and returns a future for its result. Exceptions thrown
-  /// by `fn` are captured in the future.
+  /// by `fn` are captured in the future. Throws std::runtime_error if
+  /// shutdown has begun.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
@@ -38,6 +65,10 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     {
       std::scoped_lock lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error(
+            "ThreadPool::submit: pool is shut down; task rejected");
+      }
       tasks_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -45,15 +76,19 @@ class ThreadPool {
   }
 
   /// Runs body(i) for every i in [0, n), blocking until all complete. Work
-  /// is claimed dynamically via an atomic counter. The first exception (if
-  /// any) is rethrown on the calling thread after all iterations finish or
-  /// are abandoned.
+  /// is claimed dynamically via an atomic counter; the calling thread
+  /// participates as one of the lanes. The first exception (if any) is
+  /// rethrown on the calling thread after all iterations finish or are
+  /// abandoned. n == 0 is a no-op. Called from a worker of this pool, the
+  /// loop runs serially inline (see re-entrancy note above). Throws
+  /// std::runtime_error if shutdown has begun.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:
   void worker_loop();
+  bool on_worker_thread() const noexcept;
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // lint:allow(unlocked-mutation) set once in ctor, joined in shutdown
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;

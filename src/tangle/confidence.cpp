@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "support/check.hpp"
+#include "tangle/invariants.hpp"
+
 namespace tanglefl::tangle {
 
 std::vector<double> compute_confidences(const TangleView& view, Rng& rng,
@@ -39,6 +42,11 @@ std::vector<double> compute_confidences(const TangleView& view, Rng& rng,
   for (std::size_t i = 0; i < hits.size(); ++i) {
     confidence[i] = static_cast<double>(hits[i]) * inv;
   }
+#if defined(TANGLEFL_DEBUG_CHECKS)
+  const auto violations = find_confidence_violations(view, confidence);
+  TANGLEFL_DCHECK_MSG(violations.empty(),
+                      violations.empty() ? std::string{} : violations.front());
+#endif
   return confidence;
 }
 

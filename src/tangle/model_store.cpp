@@ -24,8 +24,7 @@ ModelStore::AddResult ModelStore::add(nn::ParamVector params) {
     return result;
   }
   result.id = entries_.size();
-  entries_.push_back(
-      {std::make_unique<nn::ParamVector>(std::move(params)), result.hash});
+  entries_.push_back({std::move(params), result.hash});
   by_hash_.emplace(key, result.id);
   return result;
 }
@@ -35,7 +34,7 @@ const nn::ParamVector& ModelStore::get(PayloadId id) const {
   if (id >= entries_.size()) {
     throw std::out_of_range("ModelStore::get: unknown payload id");
   }
-  return *entries_[id].params;
+  return entries_[id].params;
 }
 
 const Sha256Digest& ModelStore::hash_of(PayloadId id) const {
@@ -55,7 +54,7 @@ void ModelStore::serialize(ByteWriter& writer) const {
   std::shared_lock lock(mutex_);
   writer.write_u64(entries_.size());
   for (const auto& entry : entries_) {
-    writer.write_f32_span(*entry.params);
+    writer.write_f32_span(entry.params);
   }
 }
 
@@ -74,7 +73,7 @@ void ModelStore::deserialize_into(ByteReader& reader, ModelStore& store) {
 std::size_t ModelStore::total_parameters() const {
   std::shared_lock lock(mutex_);
   std::size_t total = 0;
-  for (const auto& entry : entries_) total += entry.params->size();
+  for (const auto& entry : entries_) total += entry.params.size();
   return total;
 }
 

@@ -6,10 +6,9 @@
 // payloads concurrently.
 #pragma once
 
-#include <memory>
+#include <deque>
 #include <shared_mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "nn/params.hpp"
 #include "support/sha256.hpp"
@@ -50,12 +49,17 @@ class ModelStore {
 
  private:
   struct Entry {
-    std::unique_ptr<nn::ParamVector> params;  // stable address
+    nn::ParamVector params;
     Sha256Digest hash{};
   };
 
   mutable std::shared_mutex mutex_;
-  std::vector<Entry> entries_;
+  // Deque, not vector: get()/hash_of() hand out references that must stay
+  // valid while concurrent add() calls grow the store. A vector would
+  // reallocate and dangle them (ThreadSanitizer catches exactly this under
+  // tests/test_concurrency_stress.cpp); deque growth never moves existing
+  // entries.
+  std::deque<Entry> entries_;
   std::unordered_map<std::string, PayloadId> by_hash_;  // hex hash -> id
 };
 

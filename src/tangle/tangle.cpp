@@ -5,8 +5,20 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "support/check.hpp"
+#include "tangle/invariants.hpp"
+
 namespace tanglefl::tangle {
 namespace {
+
+// Re-audits the whole structure after a mutation when the build opts into
+// debug checks; compiles to nothing otherwise. Kept out of line so the
+// mutation paths stay readable.
+inline void debug_check_invariants([[maybe_unused]] const Tangle& tangle) {
+#if defined(TANGLEFL_DEBUG_CHECKS)
+  assert_invariants(tangle);
+#endif
+}
 
 /// Row-major bitset matrix for exact reachability over a view prefix.
 class BitMatrix {
@@ -165,6 +177,7 @@ Tangle::Tangle(PayloadId genesis_payload,
   transactions_.push_back(std::move(genesis));
   parent_indices_.push_back({0});
   approvers_.emplace_back();
+  debug_check_invariants(*this);
 }
 
 TxIndex Tangle::add_transaction(std::span<const TxIndex> parents,
@@ -206,6 +219,7 @@ TxIndex Tangle::add_transaction(std::span<const TxIndex> parents,
   distinct.erase(std::unique(distinct.begin(), distinct.end()),
                  distinct.end());
   for (const TxIndex p : distinct) approvers_[p].push_back(index);
+  debug_check_invariants(*this);
   return index;
 }
 
@@ -270,6 +284,7 @@ Tangle Tangle::deserialize(ByteReader& reader) {
   if (tangle.transactions_.empty()) {
     throw SerializeError("tangle: missing genesis");
   }
+  debug_check_invariants(tangle);
   return tangle;
 }
 

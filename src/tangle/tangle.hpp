@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "support/serialize.hpp"
@@ -130,8 +131,17 @@ class Tangle {
   void serialize(ByteWriter& writer) const;
   static Tangle deserialize(ByteReader& reader);
 
+  /// Full structural audit (see tangle/invariants.hpp): acyclicity,
+  /// solidity, approver accounting, cone monotonicity, header integrity.
+  /// Returns one message per violation; empty means healthy. When the
+  /// build defines TANGLEFL_DEBUG_CHECKS this audit also runs after every
+  /// mutation and a violation throws tanglefl::CheckFailure.
+  std::vector<std::string> check_invariants() const;
+
  private:
   Tangle() = default;  // for deserialize
+
+  friend struct TangleTestAccess;  // test-only corruption hooks
 
   std::vector<Transaction> transactions_;
   std::vector<std::vector<TxIndex>> parent_indices_;

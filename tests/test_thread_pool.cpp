@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace tanglefl {
@@ -102,6 +104,108 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     }
   }
   EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.parallel_for(4, [](std::size_t) {}),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // second call must be a harmless no-op
+  EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    (void)pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.shutdown();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, ReentrantParallelForFromWorkerRunsInline) {
+  ThreadPool pool(3);
+  // parallel_for issued from inside a worker must complete (serially)
+  // instead of deadlocking on lanes no worker is free to run.
+  std::atomic<int> inner_calls{0};
+  auto future = pool.submit([&] {
+    pool.parallel_for(8, [&](std::size_t) { inner_calls.fetch_add(1); });
+    return true;
+  });
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_TRUE(future.get());
+  EXPECT_EQ(inner_calls.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForFromBodyCompletes) {
+  ThreadPool pool(2);
+  // The outer loop's lanes run partly on workers (re-entrant: inline) and
+  // partly on the calling thread (not a worker: parallel path) — both
+  // nesting flavors must terminate and cover every (i, j) pair.
+  std::atomic<int> cells{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { cells.fetch_add(1); });
+  });
+  EXPECT_EQ(cells.load(), 16);
+}
+
+TEST(ThreadPool, CallingThreadParticipatesInParallelFor) {
+  ThreadPool pool(2);
+  // With every worker wedged on a slow task, parallel_for must still make
+  // progress through the calling thread's lane.
+  std::atomic<bool> release{false};
+  std::vector<std::future<void>> blockers;
+  for (std::size_t w = 0; w < pool.thread_count(); ++w) {
+    blockers.push_back(pool.submit([&release] {
+      while (!release.load()) std::this_thread::yield();
+    }));
+  }
+  std::atomic<int> covered{0};
+  std::thread driver([&] {
+    pool.parallel_for(64, [&](std::size_t) { covered.fetch_add(1); });
+  });
+  // The caller lane alone must reach full coverage; only then unwedge the
+  // workers so the queued helper lanes (and parallel_for itself) can finish.
+  while (covered.load() < 64) std::this_thread::yield();
+  release.store(true);
+  driver.join();
+  for (auto& b : blockers) b.get();
+  EXPECT_EQ(covered.load(), 64);
+}
+
+TEST(ThreadPool, ShutdownUnderLoadStress) {
+  // Hammer construction/teardown with tasks in flight: every accepted task
+  // must run exactly once, and rejected submissions must fail loudly.
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    std::atomic<int> executed{0};
+    int accepted = 0;
+    {
+      ThreadPool pool(4);
+      for (int i = 0; i < 200; ++i) {
+        try {
+          (void)pool.submit([&executed] { executed.fetch_add(1); });
+          ++accepted;
+        } catch (const std::runtime_error&) {
+          ADD_FAILURE() << "submit rejected before shutdown";
+        }
+      }
+    }
+    EXPECT_EQ(executed.load(), accepted);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,359 @@
+#!/usr/bin/env python3
+"""Project-specific determinism and concurrency lint for tanglefl.
+
+The simulation engine promises bit-identical results for a given master
+seed regardless of thread count or scheduling (see the determinism
+contract in src/support/thread_pool.hpp and src/support/rng.hpp: every
+random decision derives from (seed, node id, round), never from wall
+clock, address layout, or scheduling order). This script enforces the
+source-level rules that keep that promise true. It is intentionally
+line-oriented and dependency-free so it runs anywhere Python 3.8+ does.
+
+Rules (scoped to src/core and src/tangle unless noted):
+
+  banned-random          rand()/srand(), std::random_device,
+                         std::mt19937 / default_random_engine, and
+                         time-based seeding are forbidden; all randomness
+                         must flow through tanglefl::Rng streams.
+  unordered-iteration    Range-for iteration over a std::unordered_* — the
+                         iteration order depends on hash seeding and
+                         allocation history, so any fold over it is
+                         nondeterministic. Lookups are fine; iterate a
+                         sorted or insertion-ordered structure instead.
+  unlocked-mutation      (any file that #includes <thread>) A member field
+                         that is a sibling of a std::mutex/shared_mutex in
+                         its class is mutated in a function body that never
+                         acquires a lock. Heuristic, but catches the "wrote
+                         to the queue outside the lock" class of race.
+
+Suppress a finding with a trailing comment naming the rule:
+    foo();  // lint:allow(unordered-iteration) reason...
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, List, NamedTuple, Set
+
+DETERMINISM_DIRS = (
+    os.path.join("src", "core"),
+    os.path.join("src", "tangle"),
+)
+CXX_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h")
+
+ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
+
+BANNED_RANDOM = [
+    (re.compile(r"\bstd::random_device\b"), "std::random_device is nondeterministic"),
+    (re.compile(r"(?<![\w:])(?:rand\s*\(\s*\)|srand\s*\()"), "rand()/srand() break seeded reproducibility"),
+    (re.compile(r"\bstd::mt19937(_64)?\b"), "use tanglefl::Rng streams, not std::mt19937"),
+    (re.compile(r"\bstd::default_random_engine\b"), "use tanglefl::Rng streams"),
+    (re.compile(r"\bstd::chrono::[a-z_]+_clock::now\b.*seed|seed.*\bstd::chrono::[a-z_]+_clock::now\b"),
+     "wall-clock seeding is nondeterministic"),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+(\w+)\s*[;{=]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;)]*?[\s&*]([\w.\->]+)\s*\)\s*\{?")
+
+MUTEX_MEMBER_RE = re.compile(
+    r"(?:mutable\s+)?std::(?:shared_|recursive_)?mutex\s+(\w+)\s*;"
+)
+MEMBER_DECL_RE = re.compile(r"^\s*(?:mutable\s+)?[\w:<>,\s*&]+?\s(\w+_)\s*(?:=[^;]*)?;\s*(?://.*)?$")
+LOCK_RE = re.compile(
+    r"\bstd::(?:scoped_lock|unique_lock|lock_guard|shared_lock)\b"
+)
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int
+    rule: str
+    message: str
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and string/char literal contents (keeps quotes)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        ch = line[i]
+        if ch == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if ch in "\"'":
+            quote = ch
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def is_suppressed(line: str, rule: str) -> bool:
+    m = ALLOW_RE.search(line)
+    return bool(m and m.group(1) == rule)
+
+
+def in_determinism_scope(path: str) -> bool:
+    norm = os.path.normpath(path)
+    return any(d in norm for d in DETERMINISM_DIRS)
+
+
+def check_banned_random(path: str, lines: List[str]) -> List[Finding]:
+    findings = []
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        for pattern, why in BANNED_RANDOM:
+            if pattern.search(code) and not is_suppressed(raw, "banned-random"):
+                findings.append(Finding(path, lineno, "banned-random", why))
+    return findings
+
+
+def collect_unordered_names(lines: List[str]) -> Set[str]:
+    names = set()
+    for raw in lines:
+        for m in UNORDERED_DECL_RE.finditer(strip_comments_and_strings(raw)):
+            names.add(m.group(1))
+    return names
+
+
+def check_unordered_iteration(
+    path: str, lines: List[str], extra_names: Set[str]
+) -> List[Finding]:
+    names = collect_unordered_names(lines) | extra_names
+    findings = []
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        m = RANGE_FOR_RE.search(code)
+        if not m:
+            continue
+        target = m.group(1).split("->")[-1].split(".")[-1]
+        if target in names and not is_suppressed(raw, "unordered-iteration"):
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "unordered-iteration",
+                    f"range-for over std::unordered_* '{target}' has "
+                    "nondeterministic order; iterate a sorted copy or an "
+                    "insertion-ordered structure",
+                )
+            )
+    return findings
+
+
+def guarded_members(header_lines: List[str]) -> Set[str]:
+    """Member fields declared in any class that also declares a mutex.
+
+    Heuristic: within a class body that contains a std::*mutex member, every
+    other `name_;` member is considered guarded by it unless its declaration
+    carries a lint:allow(unlocked-mutation) comment (for members that are
+    atomic, immutable after construction, or confined to one thread).
+    """
+    guarded: Set[str] = set()
+    text = "\n".join(header_lines)
+    # Split on class/struct boundaries; good enough for this codebase's
+    # one-class-per-header style.
+    for chunk in re.split(r"\b(?:class|struct)\s+\w+", text)[1:]:
+        mutexes = MUTEX_MEMBER_RE.findall(chunk)
+        if not mutexes:
+            continue
+        for line in chunk.splitlines():
+            if "lint:allow(unlocked-mutation)" in line:
+                continue
+            if "std::atomic" in line or "static " in line.lstrip():
+                continue
+            dm = MEMBER_DECL_RE.match(line)
+            if dm and dm.group(1) not in mutexes:
+                guarded.add(dm.group(1))
+    return guarded
+
+
+MUTATION_RE_TEMPLATE = (
+    r"(?:\b{name}\s*(?:=[^=]|\+=|-=|\*=|/=)"  # assignment
+    r"|\b{name}\s*\.\s*(?:push|pop|emplace|insert|erase|clear|resize|assign|swap)\w*\s*\("
+    r"|\+\+\s*{name}\b|--\s*{name}\b|\b{name}\s*\+\+|\b{name}\s*--)"
+)
+
+
+def function_bodies(lines: List[str]):
+    """Yields (start_line, body_lines) for each top-level brace block that
+    looks like a function definition. Heuristic brace matching."""
+    i = 0
+    n = len(lines)
+    while i < n:
+        code = strip_comments_and_strings(lines[i])
+        if re.search(r"\)\s*(const)?\s*(noexcept)?\s*\{", code) and not re.match(
+            r"\s*(if|for|while|switch|catch)\b", code
+        ):
+            depth = code.count("{") - code.count("}")
+            start = i
+            body = [lines[i]]
+            i += 1
+            while i < n and depth > 0:
+                c = strip_comments_and_strings(lines[i])
+                depth += c.count("{") - c.count("}")
+                body.append(lines[i])
+                i += 1
+            yield start + 1, body
+        else:
+            i += 1
+
+
+def check_unlocked_mutation(
+    path: str, lines: List[str], guarded: Set[str]
+) -> List[Finding]:
+    if not guarded:
+        return []
+    findings = []
+    mutation_res = {
+        name: re.compile(MUTATION_RE_TEMPLATE.format(name=re.escape(name)))
+        for name in guarded
+    }
+    for start, body in function_bodies(lines):
+        body_code = [strip_comments_and_strings(l) for l in body]
+        holds_lock = any(LOCK_RE.search(c) for c in body_code)
+        if holds_lock:
+            continue
+        for offset, (raw, code) in enumerate(zip(body, body_code)):
+            for name, pattern in mutation_res.items():
+                if pattern.search(code) and not is_suppressed(
+                    raw, "unlocked-mutation"
+                ):
+                    findings.append(
+                        Finding(
+                            path,
+                            start + offset,
+                            "unlocked-mutation",
+                            f"'{name}' is guarded by a mutex in its class "
+                            "but this function mutates it without acquiring "
+                            "a lock",
+                        )
+                    )
+    return findings
+
+
+def lint_file(path: str, header_cache: Dict[str, List[str]]) -> List[Finding]:
+    try:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            lines = fh.read().splitlines()
+    except OSError as err:
+        return [Finding(path, 0, "io-error", str(err))]
+
+    findings: List[Finding] = []
+
+    if in_determinism_scope(path):
+        findings += check_banned_random(path, lines)
+        # Names declared in the companion header count too (members used
+        # from the .cpp).
+        extra: Set[str] = set()
+        root, ext = os.path.splitext(path)
+        if ext in (".cpp", ".cc", ".cxx"):
+            header = root + ".hpp"
+            if os.path.exists(header):
+                if header not in header_cache:
+                    with open(header, encoding="utf-8", errors="replace") as fh:
+                        header_cache[header] = fh.read().splitlines()
+                extra = collect_unordered_names(header_cache[header])
+        findings += check_unordered_iteration(path, lines, extra)
+
+    joined = "\n".join(strip_comments_and_strings(l) for l in lines)
+    if re.search(r'#\s*include\s*<thread>', joined):
+        root, ext = os.path.splitext(path)
+        guard_sources = [lines]
+        if ext in (".cpp", ".cc", ".cxx") and os.path.exists(root + ".hpp"):
+            header = root + ".hpp"
+            if header not in header_cache:
+                with open(header, encoding="utf-8", errors="replace") as fh:
+                    header_cache[header] = fh.read().splitlines()
+            guard_sources.append(header_cache[header])
+        guarded: Set[str] = set()
+        for src in guard_sources:
+            guarded |= guarded_members(src)
+        findings += check_unlocked_mutation(path, lines, guarded)
+    elif ext_includes_thread_via_header(path, header_cache):
+        root, _ = os.path.splitext(path)
+        header = root + ".hpp"
+        guarded = guarded_members(header_cache[header])
+        findings += check_unlocked_mutation(path, lines, guarded)
+
+    return findings
+
+
+def ext_includes_thread_via_header(
+    path: str, header_cache: Dict[str, List[str]]
+) -> bool:
+    root, ext = os.path.splitext(path)
+    if ext not in (".cpp", ".cc", ".cxx"):
+        return False
+    header = root + ".hpp"
+    if not os.path.exists(header):
+        return False
+    if header not in header_cache:
+        with open(header, encoding="utf-8", errors="replace") as fh:
+            header_cache[header] = fh.read().splitlines()
+    return any(
+        re.search(r'#\s*include\s*<thread>', strip_comments_and_strings(l))
+        for l in header_cache[header]
+    )
+
+
+def gather_files(paths: List[str]) -> List[str]:
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            if p.endswith(CXX_EXTENSIONS):
+                files.append(p)
+        elif os.path.isdir(p):
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames[:] = [
+                    d for d in dirnames
+                    if not d.startswith((".", "build")) and d != "CMakeFiles"
+                ]
+                for fn in sorted(filenames):
+                    if fn.endswith(CXX_EXTENSIONS):
+                        files.append(os.path.join(dirpath, fn))
+        else:
+            print(f"lint.py: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the success message"
+    )
+    args = parser.parse_args()
+
+    header_cache: Dict[str, List[str]] = {}
+    findings: List[Finding] = []
+    files = gather_files(args.paths)
+    for path in files:
+        findings += lint_file(path, header_cache)
+
+    for f in sorted(findings):
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"lint.py: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
