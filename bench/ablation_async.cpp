@@ -20,9 +20,15 @@ int main(int argc, char** argv) {
       args.get_int("seed", 42, "master random seed"));
   const std::string csv =
       args.get_string("csv", "ablation_async.csv", "output CSV path");
+  bench::BenchRun bench_run("ablation_async", args);
   if (args.should_exit()) return args.help_requested() ? 0 : 1;
 
   set_log_level(LogLevel::kWarn);
+  bench_run.start(seed);
+  bench_run.config("users", users);
+  bench_run.config("rounds", rounds);
+  bench_run.config("nodes", nodes);
+  bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
   scale.users = users;
@@ -38,7 +44,6 @@ int main(int argc, char** argv) {
   node.reference.confidence.sample_rounds = nodes;
 
   std::cout << "Round-based vs asynchronous tangle learning\n\n";
-  Stopwatch watch;
 
   // Reference: the Section IV round-based engine.
   core::SimulationConfig round_config;
@@ -48,10 +53,13 @@ int main(int argc, char** argv) {
   round_config.eval_nodes_fraction = 0.3;
   round_config.node = node;
   round_config.seed = seed;
-  const core::RunResult round_run =
-      core::run_tangle_learning(dataset, factory, round_config, "rounds");
+  const core::RunResult round_run = [&] {
+    auto timer = bench_run.phase("round-based");
+    return core::run_tangle_learning(dataset, factory, round_config,
+                                     "rounds");
+  }();
   std::cout << "... round-based reference done ("
-            << format_fixed(watch.seconds(), 0) << "s)\n";
+            << format_fixed(bench_run.seconds(), 0) << "s)\n";
 
   // Async runs with a matched training budget: total wakeups ~=
   // rounds * nodes. With wake rate r per node over duration T,
@@ -95,13 +103,16 @@ int main(int argc, char** argv) {
     config.seed = seed;
 
     core::AsyncTangleSimulation simulation(dataset, factory, config);
-    core::RunResult run = simulation.run();
+    core::RunResult run = [&] {
+      auto timer = bench_run.phase(variant.name);
+      return simulation.run();
+    }();
     run.label = variant.name;
     table.add_row({variant.name, format_fixed(run.final_accuracy(), 3),
                    std::to_string(simulation.tangle().size()),
                    std::to_string(simulation.stats().lost)});
     std::cout << "... " << variant.name << " done ("
-              << format_fixed(watch.seconds(), 0) << "s)\n";
+              << format_fixed(bench_run.seconds(), 0) << "s)\n";
     runs.push_back(std::move(run));
   }
 
@@ -111,5 +122,6 @@ int main(int argc, char** argv) {
                "reference; large delays slow convergence (stale views);\n"
                "message loss thins the ledger but the consensus remains.\n";
   bench::write_series_csv(csv, runs);
+  bench_run.finish(std::cout);
   return 0;
 }

@@ -24,9 +24,17 @@ int main(int argc, char** argv) {
       args.get_int("threads", 1, "worker threads"));
   const std::string csv =
       args.get_string("csv", "ablation_backdoor.csv", "output CSV path");
+  bench::BenchRun bench_run("ablation_backdoor", args);
   if (args.should_exit()) return args.help_requested() ? 0 : 1;
 
   set_log_level(LogLevel::kWarn);
+  bench_run.start(seed);
+  bench_run.config("pretrain_rounds", pretrain);
+  bench_run.config("attack_rounds", attack_rounds);
+  bench_run.config("users", users);
+  bench_run.config("nodes", nodes);
+  bench_run.config("threads", threads);
+  bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
   scale.users = users;
@@ -49,7 +57,6 @@ int main(int argc, char** argv) {
                       "backdoor success"});
   CsvWriter csv_out(csv, {"fraction", "boost", "accuracy",
                           "backdoor_success"});
-  Stopwatch watch;
 
   for (const Cell& cell : cells) {
     core::SimulationConfig config;
@@ -70,10 +77,12 @@ int main(int argc, char** argv) {
     config.seed = seed;
     config.threads = threads;
 
-    const core::RunResult run = core::run_tangle_learning(
-        dataset, factory, config,
-        "p=" + format_fixed(cell.fraction, 1) + " boost=" +
-            format_fixed(cell.boost, 0));
+    const std::string label = "p=" + format_fixed(cell.fraction, 1) +
+                              " boost=" + format_fixed(cell.boost, 0);
+    const core::RunResult run = [&] {
+      auto timer = bench_run.phase(label);
+      return core::run_tangle_learning(dataset, factory, config, label);
+    }();
     const auto& last = run.history.back();
     table.add_row({format_fixed(cell.fraction, 2),
                    format_fixed(cell.boost, 0),
@@ -84,7 +93,7 @@ int main(int argc, char** argv) {
                      format_fixed(last.accuracy, 4),
                      format_fixed(last.backdoor_success, 4)});
     std::cout << "... p=" << cell.fraction << " boost=" << cell.boost
-              << " done (" << format_fixed(watch.seconds(), 0)
+              << " done (" << format_fixed(bench_run.seconds(), 0)
               << "s elapsed)\n";
   }
 
@@ -94,5 +103,6 @@ int main(int argc, char** argv) {
                "means the attack slipped past the validation gate — the\n"
                "stealthy-poisoning weakness the paper flags as open.\n"
             << "\n(series written to " << csv << ")\n";
+  bench_run.finish(std::cout);
   return 0;
 }

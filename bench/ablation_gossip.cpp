@@ -19,9 +19,15 @@ int main(int argc, char** argv) {
       args.get_int("seed", 42, "master random seed"));
   const std::string csv =
       args.get_string("csv", "ablation_gossip.csv", "output CSV path");
+  bench::BenchRun bench_run("ablation_gossip", args);
   if (args.should_exit()) return args.help_requested() ? 0 : 1;
 
   set_log_level(LogLevel::kWarn);
+  bench_run.start(seed);
+  bench_run.config("rounds", rounds);
+  bench_run.config("users", users);
+  bench_run.config("nodes", nodes);
+  bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
   scale.users = users;
@@ -38,7 +44,6 @@ int main(int argc, char** argv) {
 
   std::cout << "Gossip-replicated tangle learning: partial views vs the "
                "fully replicated reference\n\n";
-  Stopwatch watch;
 
   // Reference: fully replicated round-based engine.
   core::SimulationConfig reference_config;
@@ -48,10 +53,13 @@ int main(int argc, char** argv) {
   reference_config.eval_nodes_fraction = 0.3;
   reference_config.node = node;
   reference_config.seed = seed;
-  const core::RunResult reference = core::run_tangle_learning(
-      dataset, factory, reference_config, "full-replication");
+  const core::RunResult reference = [&] {
+    auto timer = bench_run.phase("full-replication");
+    return core::run_tangle_learning(dataset, factory, reference_config,
+                                     "full-replication");
+  }();
   std::cout << "... full-replication reference done ("
-            << format_fixed(watch.seconds(), 0) << "s)\n";
+            << format_fixed(bench_run.seconds(), 0) << "s)\n";
 
   struct Variant {
     std::string name;
@@ -87,13 +95,16 @@ int main(int argc, char** argv) {
     config.seed = seed;
 
     core::GossipSimulation simulation(dataset, factory, config);
-    core::RunResult run = simulation.run();
+    core::RunResult run = [&] {
+      auto timer = bench_run.phase(variant.name);
+      return simulation.run();
+    }();
     run.label = variant.name;
     table.add_row({variant.name, format_fixed(run.final_accuracy(), 3),
                    format_fixed(simulation.stats().final_mean_coverage, 3),
                    std::to_string(simulation.stats().failed_pulls)});
     std::cout << "... " << variant.name << " done ("
-              << format_fixed(watch.seconds(), 0) << "s)\n";
+              << format_fixed(bench_run.seconds(), 0) << "s)\n";
     runs.push_back(std::move(run));
   }
 
@@ -104,5 +115,6 @@ int main(int argc, char** argv) {
                "transfer caps, lossy pulls) lowers coverage and costs\n"
                "consensus accuracy.\n";
   bench::write_series_csv(csv, runs);
+  bench_run.finish(std::cout);
   return 0;
 }

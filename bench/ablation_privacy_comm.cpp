@@ -23,9 +23,16 @@ int main(int argc, char** argv) {
       args.get_int("threads", 1, "worker threads"));
   const std::string csv =
       args.get_string("csv", "ablation_privacy_comm.csv", "output CSV path");
+  bench::BenchRun bench_run("ablation_privacy_comm", args);
   if (args.should_exit()) return args.help_requested() ? 0 : 1;
 
   set_log_level(LogLevel::kWarn);
+  bench_run.start(seed);
+  bench_run.config("rounds", rounds);
+  bench_run.config("users", users);
+  bench_run.config("nodes", nodes);
+  bench_run.config("threads", threads);
+  bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
   scale.users = users;
@@ -54,7 +61,6 @@ int main(int argc, char** argv) {
        param_count * sizeof(float)},
   };
 
-  Stopwatch watch;
   std::vector<core::RunResult> runs;
   TablePrinter table({"variant", "payload bytes", "final accuracy",
                       "rounds to 0.5"});
@@ -75,8 +81,11 @@ int main(int argc, char** argv) {
     config.seed = seed;
     config.threads = threads;
 
-    const core::RunResult run =
-        core::run_tangle_learning(dataset, factory, config, variant.name);
+    const core::RunResult run = [&] {
+      auto timer = bench_run.phase(variant.name);
+      return core::run_tangle_learning(dataset, factory, config,
+                                       variant.name);
+    }();
     const std::int64_t reach = run.rounds_to_accuracy(0.5);
     std::string cell;
     if (reach < 0) cell += '>';
@@ -85,7 +94,7 @@ int main(int argc, char** argv) {
     table.add_row({variant.name, std::to_string(variant.payload_bytes),
                    format_fixed(run.final_accuracy(), 3), std::move(cell)});
     std::cout << "... " << variant.name << " done ("
-              << format_fixed(watch.seconds(), 0) << "s elapsed)\n";
+              << format_fixed(bench_run.seconds(), 0) << "s elapsed)\n";
     runs.push_back(run);
   }
 
@@ -94,5 +103,6 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   bench::print_series(std::cout, runs);
   bench::write_series_csv(csv, runs);
+  bench_run.finish(std::cout);
   return 0;
 }

@@ -27,9 +27,18 @@ int main(int argc, char** argv) {
       args.get_int("threads", 1, "worker threads"));
   const std::string csv =
       args.get_string("csv", "ablation_robustness.csv", "output CSV path");
+  bench::BenchRun bench_run("ablation_robustness", args);
   if (args.should_exit()) return args.help_requested() ? 0 : 1;
 
   set_log_level(LogLevel::kWarn);
+  bench_run.start(seed);
+  bench_run.config("pretrain_rounds", pretrain);
+  bench_run.config("attack_rounds", attack_rounds);
+  bench_run.config("users", users);
+  bench_run.config("nodes", nodes);
+  bench_run.config("fraction", fraction);
+  bench_run.config("threads", threads);
+  bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
   scale.users = users;
@@ -49,7 +58,6 @@ int main(int argc, char** argv) {
                       "alpha=0.1", "alpha=1.0"});
   CsvWriter csv_out(csv, {"alpha", "tip_sample_size", "final_accuracy",
                           "pre_attack_accuracy"});
-  Stopwatch watch;
 
   for (const std::size_t sample : samples) {
     std::vector<std::string> row = {std::to_string(sample)};
@@ -71,8 +79,10 @@ int main(int argc, char** argv) {
       config.seed = seed;
       config.threads = threads;
 
-      const core::RunResult run =
-          core::run_tangle_learning(dataset, factory, config);
+      const core::RunResult run = [&] {
+        auto timer = bench_run.phase("alpha-sweep");
+        return core::run_tangle_learning(dataset, factory, config);
+      }();
       double pre_attack = 0.0;
       for (const auto& record : run.history) {
         if (record.round <= pretrain) pre_attack = record.accuracy;
@@ -84,7 +94,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(std::move(row));
     std::cout << "... sample size " << sample << " done ("
-              << format_fixed(watch.seconds(), 0) << "s elapsed)\n";
+              << format_fixed(bench_run.seconds(), 0) << "s elapsed)\n";
   }
 
   std::cout << "\n";
@@ -94,5 +104,6 @@ int main(int argc, char** argv) {
                "random (poison tips get sampled), huge alpha makes walks\n"
                "deterministic (one poisoned heavy branch captures all).\n"
             << "\n(series written to " << csv << ")\n";
+  bench_run.finish(std::cout);
   return 0;
 }

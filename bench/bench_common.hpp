@@ -5,10 +5,15 @@
 #pragma once
 
 #include <iostream>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "core/simulation.hpp"
 #include "data/femnist_synth.hpp"
 #include "data/shakespeare_synth.hpp"
@@ -101,6 +106,119 @@ inline data::TrainConfig shakespeare_training() {
   config.sgd.grad_clip = 5.0;
   return config;
 }
+
+/// One observability context per harness run: registers the shared
+/// --metrics-json/--trace flags, arms the metrics registry and (optionally)
+/// a Chrome trace sink, accumulates named phase timings, and writes the
+/// run manifest next to the CSV output. Replaces the per-harness
+/// `Stopwatch watch; ... watch.seconds()` pattern.
+///
+/// Usage:
+///   ArgParser args(argc, argv);
+///   BenchRun run("fig3_femnist_convergence", args);
+///   ... register more flags ...
+///   if (args.should_exit()) return 0;
+///   run.start(seed);
+///   { auto timer = run.phase("tangle"); ... }
+///   run.finish(std::cout);
+class BenchRun {
+ public:
+  BenchRun(std::string name, ArgParser& args)
+      : manifest_path_(args.get_string(
+            "metrics-json", name + "_metrics.json",
+            "run-manifest JSON output path (empty to skip)")),
+        trace_path_(args.get_string(
+            "trace", "",
+            "Chrome trace_event JSON output path (empty = tracing off)")) {
+    manifest_.name = std::move(name);
+  }
+
+  ~BenchRun() {
+    // A harness that returns early still detaches cleanly; the sink
+    // flushes whatever was recorded.
+    if (trace_sink_) obs::set_trace_sink(nullptr);
+  }
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  /// Arms metrics + tracing and starts the total-time clock. Call once,
+  /// after the ArgParser early-exit check so --help runs stay side-effect
+  /// free.
+  void start(std::uint64_t seed) {
+    manifest_.seed = seed;
+    obs::MetricsRegistry::global().reset();
+    obs::set_timing_enabled(true);
+    if (!trace_path_.empty()) {
+      trace_sink_ = std::make_unique<obs::TraceSink>(trace_path_);
+      obs::set_trace_sink(trace_sink_.get());
+    }
+    total_.restart();
+  }
+
+  /// Records one configuration entry into the manifest.
+  void config(const std::string& key, const std::string& value) {
+    manifest_.config.emplace_back(key, value);
+  }
+  void config(const std::string& key, const char* value) {
+    config(key, std::string(value));
+  }
+  void config(const std::string& key, std::int64_t value) {
+    config(key, std::to_string(value));
+  }
+  void config(const std::string& key, std::size_t value) {
+    config(key, std::to_string(value));
+  }
+  void config(const std::string& key, double value) {
+    config(key, format_fixed(value, 6));
+  }
+  void config(const std::string& key, bool value) {
+    config(key, std::string(value ? "true" : "false"));
+  }
+
+  /// Returns a timer adding the enclosing scope's wall time to the named
+  /// phase accumulator (phases repeat and sum).
+  ScopedTimer phase(const std::string& name) {
+    return ScopedTimer(phase_seconds_[name]);
+  }
+
+  double seconds() const { return total_.seconds(); }
+
+  /// Flushes the trace, writes the manifest (full metric snapshot included)
+  /// and prints the wall-time summary line.
+  void finish(std::ostream& out) {
+    manifest_.total_seconds = total_.seconds();
+    manifest_.phase_seconds.assign(phase_seconds_.begin(),
+                                   phase_seconds_.end());
+    if (trace_sink_) {
+      obs::set_trace_sink(nullptr);
+      trace_sink_->flush();
+      out << "(trace written to " << trace_sink_->path() << ")\n";
+      trace_sink_.reset();
+    }
+    if (!manifest_path_.empty()) {
+      const auto snapshot =
+          obs::MetricsRegistry::global().snapshot(obs::SnapshotKind::kFull);
+      if (obs::write_manifest(manifest_path_, manifest_, snapshot)) {
+        out << "(run manifest written to " << manifest_path_ << ")\n";
+      } else {
+        out << "(failed to write run manifest " << manifest_path_ << ")\n";
+      }
+    }
+    out << "total wall time: " << format_fixed(manifest_.total_seconds, 1)
+        << "s\n";
+  }
+
+ private:
+  obs::RunManifest manifest_;
+  std::string manifest_path_;
+  std::string trace_path_;
+  // std::map: node-based, so the double& held by a live ScopedTimer stays
+  // valid as more phases are added.
+  std::map<std::string, double> phase_seconds_;
+  std::unique_ptr<obs::TraceSink> trace_sink_;
+  Stopwatch total_;
+};
 
 /// Prints aligned accuracy-vs-round series (one column per run), the text
 /// equivalent of the paper's figures.

@@ -26,9 +26,17 @@ int main(int argc, char** argv) {
       "comma-separated nodes-per-round settings (paper: 10,35,50)");
   const std::string csv = args.get_string(
       "csv", "fig3_femnist_convergence.csv", "output CSV path");
+  bench::BenchRun run("fig3_femnist_convergence", args);
   if (args.should_exit()) return args.help_requested() ? 0 : 1;
 
   set_log_level(LogLevel::kWarn);
+  run.start(seed);
+  run.config("rounds", rounds);
+  run.config("users", users);
+  run.config("eval_every", eval_every);
+  run.config("threads", threads);
+  run.config("nodes", nodes_list);
+  run.config("csv", csv);
 
   bench::FemnistScale scale;
   scale.users = users;
@@ -52,7 +60,6 @@ int main(int argc, char** argv) {
   }
 
   std::vector<core::RunResult> all_runs;
-  Stopwatch watch;
   for (const std::size_t nodes : node_settings) {
     std::string suffix = "@";
     suffix += std::to_string(nodes);
@@ -68,8 +75,11 @@ int main(int argc, char** argv) {
     fedavg_config.training = bench::femnist_training();
     fedavg_config.seed = seed;
     fedavg_config.threads = threads;
-    const core::RunResult fedavg_run =
-        fedavg::run_fedavg(dataset, factory, fedavg_config, "fedavg" + suffix);
+    const core::RunResult fedavg_run = [&] {
+      auto timer = run.phase("fedavg");
+      return fedavg::run_fedavg(dataset, factory, fedavg_config,
+                                "fedavg" + suffix);
+    }();
 
     core::SimulationConfig base;
     base.rounds = rounds;
@@ -85,16 +95,22 @@ int main(int argc, char** argv) {
     plain.node.num_tips = 2;
     plain.node.tip_sample_size = 2;
     plain.node.reference.num_reference_models = 1;
-    const core::RunResult tangle_run =
-        core::run_tangle_learning(dataset, factory, plain, "tangle" + suffix);
+    const core::RunResult tangle_run = [&] {
+      auto timer = run.phase("tangle");
+      return core::run_tangle_learning(dataset, factory, plain,
+                                       "tangle" + suffix);
+    }();
 
     // Optimized: 3 tips, top-10 reference average (Section V-A).
     core::SimulationConfig opt = base;
     opt.node.num_tips = 3;
     opt.node.tip_sample_size = 6;
     opt.node.reference.num_reference_models = 10;
-    const core::RunResult opt_run = core::run_tangle_learning(
-        dataset, factory, opt, "tangle-opt" + suffix);
+    const core::RunResult opt_run = [&] {
+      auto timer = run.phase("tangle-opt");
+      return core::run_tangle_learning(dataset, factory, opt,
+                                       "tangle-opt" + suffix);
+    }();
 
     bench::print_series(std::cout, {fedavg_run, tangle_run, opt_run});
     std::cout << "final: fedavg=" << format_fixed(fedavg_run.final_accuracy(), 3)
@@ -107,7 +123,6 @@ int main(int argc, char** argv) {
   }
 
   bench::write_series_csv(csv, all_runs);
-  std::cout << "total wall time: " << format_fixed(watch.seconds(), 1)
-            << "s\n";
+  run.finish(std::cout);
   return 0;
 }

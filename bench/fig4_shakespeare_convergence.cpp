@@ -22,9 +22,17 @@ int main(int argc, char** argv) {
       args.get_int("threads", 1, "worker threads for per-round training"));
   const std::string csv = args.get_string(
       "csv", "fig4_shakespeare_convergence.csv", "output CSV path");
+  bench::BenchRun run("fig4_shakespeare_convergence", args);
   if (args.should_exit()) return args.help_requested() ? 0 : 1;
 
   set_log_level(LogLevel::kWarn);
+  run.start(seed);
+  run.config("rounds", rounds);
+  run.config("users", users);
+  run.config("nodes", nodes);
+  run.config("eval_every", eval_every);
+  run.config("threads", threads);
+  run.config("csv", csv);
 
   bench::ShakespeareScale scale;
   scale.users = users;
@@ -36,8 +44,6 @@ int main(int argc, char** argv) {
             << dataset.stats().total_samples << " samples, model "
             << factory().summary() << "\n\n";
 
-  Stopwatch watch;
-
   fedavg::FedAvgConfig fedavg_config;
   fedavg_config.rounds = rounds;
   fedavg_config.clients_per_round = nodes;
@@ -46,8 +52,10 @@ int main(int argc, char** argv) {
   fedavg_config.training = bench::shakespeare_training();
   fedavg_config.seed = seed;
   fedavg_config.threads = threads;
-  const core::RunResult fedavg_run =
-      fedavg::run_fedavg(dataset, factory, fedavg_config, "fedavg");
+  const core::RunResult fedavg_run = [&] {
+    auto timer = run.phase("fedavg");
+    return fedavg::run_fedavg(dataset, factory, fedavg_config, "fedavg");
+  }();
 
   // Fig. 4 runs the tangle *without* hyperparameter optimization.
   core::SimulationConfig tangle_config;
@@ -61,8 +69,11 @@ int main(int argc, char** argv) {
   tangle_config.node.reference.num_reference_models = 1;
   tangle_config.seed = seed;
   tangle_config.threads = threads;
-  const core::RunResult tangle_run =
-      core::run_tangle_learning(dataset, factory, tangle_config, "tangle");
+  const core::RunResult tangle_run = [&] {
+    auto timer = run.phase("tangle");
+    return core::run_tangle_learning(dataset, factory, tangle_config,
+                                     "tangle");
+  }();
 
   bench::print_series(std::cout, {fedavg_run, tangle_run});
   std::cout << "final: fedavg=" << format_fixed(fedavg_run.final_accuracy(), 3)
@@ -72,7 +83,6 @@ int main(int argc, char** argv) {
             << " (paper: 0.55 vs 0.50 after 200 rounds)\n";
 
   bench::write_series_csv(csv, {fedavg_run, tangle_run});
-  std::cout << "total wall time: " << format_fixed(watch.seconds(), 1)
-            << "s\n";
+  run.finish(std::cout);
   return 0;
 }

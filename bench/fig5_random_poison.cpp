@@ -27,9 +27,18 @@ int main(int argc, char** argv) {
       "fractions", "0.1,0.2,0.25,0.3", "malicious fractions to test");
   const std::string csv =
       args.get_string("csv", "fig5_random_poison.csv", "output CSV path");
+  bench::BenchRun bench_run("fig5_random_poison", args);
   if (args.should_exit()) return args.help_requested() ? 0 : 1;
 
   set_log_level(LogLevel::kWarn);
+  bench_run.start(seed);
+  bench_run.config("pretrain_rounds", pretrain);
+  bench_run.config("attack_rounds", attack_rounds);
+  bench_run.config("users", users);
+  bench_run.config("nodes", nodes);
+  bench_run.config("threads", threads);
+  bench_run.config("fractions", fractions_list);
+  bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
   scale.users = users;
@@ -50,7 +59,6 @@ int main(int argc, char** argv) {
     pos = comma + 1;
   }
 
-  Stopwatch watch;
   std::vector<core::RunResult> runs;
   for (const double p : fractions) {
     core::SimulationConfig config;
@@ -70,8 +78,11 @@ int main(int argc, char** argv) {
     config.seed = seed;
     config.threads = threads;
 
-    core::RunResult run = core::run_tangle_learning(
-        dataset, factory, config, "p=" + format_fixed(p, 2));
+    core::RunResult run = [&] {
+      auto timer = bench_run.phase("p=" + format_fixed(p, 2));
+      return core::run_tangle_learning(dataset, factory, config,
+                                       "p=" + format_fixed(p, 2));
+    }();
     // Keep only the attack window (the figure's x-axis starts at the
     // attack round).
     std::erase_if(run.history, [&](const core::RoundRecord& record) {
@@ -79,12 +90,14 @@ int main(int argc, char** argv) {
     });
     std::cout << "p=" << format_fixed(p, 2)
               << ": final accuracy=" << format_fixed(run.final_accuracy(), 3)
-              << " (" << format_fixed(watch.seconds(), 0) << "s elapsed)\n";
+              << " (" << format_fixed(bench_run.seconds(), 0)
+              << "s elapsed)\n";
     runs.push_back(std::move(run));
   }
 
   std::cout << "\n";
   bench::print_series(std::cout, runs);
   bench::write_series_csv(csv, runs);
+  bench_run.finish(std::cout);
   return 0;
 }

@@ -32,9 +32,20 @@ int main(int argc, char** argv) {
       args.get_string("fractions", "0.1,0.2,0.3", "malicious fractions");
   const std::string csv =
       args.get_string("csv", "fig6_label_flip.csv", "output CSV path");
+  bench::BenchRun bench_run("fig6_label_flip", args);
   if (args.should_exit()) return args.help_requested() ? 0 : 1;
 
   set_log_level(LogLevel::kWarn);
+  bench_run.start(seed);
+  bench_run.config("pretrain_rounds", pretrain);
+  bench_run.config("attack_rounds", attack_rounds);
+  bench_run.config("users", users);
+  bench_run.config("nodes", nodes);
+  bench_run.config("source_class", static_cast<std::int64_t>(source));
+  bench_run.config("target_class", static_cast<std::int64_t>(target));
+  bench_run.config("threads", threads);
+  bench_run.config("fractions", fractions_list);
+  bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
   scale.users = users;
@@ -54,7 +65,6 @@ int main(int argc, char** argv) {
     pos = comma + 1;
   }
 
-  Stopwatch watch;
   std::vector<core::RunResult> runs;
   for (const double p : fractions) {
     core::SimulationConfig config;
@@ -73,8 +83,11 @@ int main(int argc, char** argv) {
     config.seed = seed;
     config.threads = threads;
 
-    core::RunResult run = core::run_tangle_learning(
-        dataset, factory, config, "p=" + format_fixed(p, 2));
+    core::RunResult run = [&] {
+      auto timer = bench_run.phase("p=" + format_fixed(p, 2));
+      return core::run_tangle_learning(dataset, factory, config,
+                                       "p=" + format_fixed(p, 2));
+    }();
     std::erase_if(run.history, [&](const core::RoundRecord& record) {
       return record.round + 4 < pretrain;
     });
@@ -86,7 +99,8 @@ int main(int argc, char** argv) {
                          ? 0.0
                          : run.history.back().target_misclassification,
                      3)
-              << " (" << format_fixed(watch.seconds(), 0) << "s elapsed)\n";
+              << " (" << format_fixed(bench_run.seconds(), 0)
+              << "s elapsed)\n";
     runs.push_back(std::move(run));
   }
 
@@ -114,5 +128,6 @@ int main(int argc, char** argv) {
   misclass.print(std::cout);
 
   bench::write_series_csv(csv, runs);
+  bench_run.finish(std::cout);
   return 0;
 }

@@ -2,7 +2,14 @@
 // computations, confidence sampling, SHA-256 hashing, and proof-of-work.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/sha256.hpp"
+#include "support/stopwatch.hpp"
 #include "tangle/confidence.hpp"
 #include "tangle/model_store.hpp"
 #include "tangle/pow.hpp"
@@ -126,4 +133,31 @@ BENCHMARK(BM_ProofOfWork)->Arg(4)->Arg(8)->Arg(12);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// google-benchmark rejects unrecognized flags, so the run manifest is
+// requested through the environment instead: set TANGLEFL_METRICS_JSON to a
+// path to enable domain-metric timing and write the manifest there.
+int main(int argc, char** argv) {
+  const char* manifest_path = std::getenv("TANGLEFL_METRICS_JSON");
+  if (manifest_path != nullptr && *manifest_path != '\0') {
+    tanglefl::obs::MetricsRegistry::global().reset();
+    tanglefl::obs::set_timing_enabled(true);
+  }
+  tanglefl::Stopwatch total;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (manifest_path != nullptr && *manifest_path != '\0') {
+    tanglefl::obs::RunManifest manifest;
+    manifest.name = "micro_tangle";
+    manifest.total_seconds = total.seconds();
+    const auto snapshot = tanglefl::obs::MetricsRegistry::global().snapshot(
+        tanglefl::obs::SnapshotKind::kFull);
+    if (!tanglefl::obs::write_manifest(manifest_path, manifest, snapshot)) {
+      std::fprintf(stderr, "failed to write run manifest %s\n",
+                   manifest_path);
+      return 1;
+    }
+  }
+  return 0;
+}

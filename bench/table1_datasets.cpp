@@ -8,18 +8,25 @@ int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   const auto seed = static_cast<std::uint64_t>(
       args.get_int("seed", 42, "dataset generation seed"));
+  bench::BenchRun run("table1_datasets", args);
   if (args.should_exit()) return args.help_requested() ? 0 : 1;
 
   set_log_level(LogLevel::kWarn);
+  run.start(seed);
 
   bench::FemnistScale femnist_scale;
   femnist_scale.seed = seed;
   bench::ShakespeareScale shakespeare_scale;
   shakespeare_scale.seed = seed;
 
-  const data::FederatedDataset femnist = bench::make_femnist(femnist_scale);
-  const data::FederatedDataset shakespeare =
-      bench::make_shakespeare(shakespeare_scale);
+  const data::FederatedDataset femnist = [&] {
+    auto timer = run.phase("femnist-gen");
+    return bench::make_femnist(femnist_scale);
+  }();
+  const data::FederatedDataset shakespeare = [&] {
+    auto timer = run.phase("shakespeare-gen");
+    return bench::make_shakespeare(shakespeare_scale);
+  }();
   const data::DatasetStats fs = femnist.stats();
   const data::DatasetStats ss = shakespeare.stats();
 
@@ -61,5 +68,6 @@ int main(int argc, char** argv) {
                   std::to_string(ss.min_samples_per_user),
                   std::to_string(ss.max_samples_per_user)});
   detail.print(std::cout);
+  run.finish(std::cout);
   return 0;
 }

@@ -25,9 +25,17 @@ int main(int argc, char** argv) {
       args.get_int("threads", 1, "worker threads"));
   const std::string csv =
       args.get_string("csv", "table2_hyperparams.csv", "output CSV path");
+  bench::BenchRun bench_run("table2_hyperparams", args);
   if (args.should_exit()) return args.help_requested() ? 0 : 1;
 
   set_log_level(LogLevel::kWarn);
+  bench_run.start(seed);
+  bench_run.config("rounds", rounds);
+  bench_run.config("users", users);
+  bench_run.config("nodes", nodes);
+  bench_run.config("eval_every", eval_every);
+  bench_run.config("threads", threads);
+  bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
   scale.users = users;
@@ -45,8 +53,10 @@ int main(int argc, char** argv) {
   fedavg_config.training = bench::femnist_training();
   fedavg_config.seed = seed;
   fedavg_config.threads = threads;
-  const core::RunResult reference =
-      fedavg::run_fedavg(dataset, factory, fedavg_config);
+  const core::RunResult reference = [&] {
+    auto timer = bench_run.phase("fedavg-reference");
+    return fedavg::run_fedavg(dataset, factory, fedavg_config);
+  }();
   const double target = 0.7 * reference.final_accuracy();
   std::cout << "Table II reproduction: rounds to reach 70% of the reference"
                " model accuracy\nreference (FedAvg) accuracy = "
@@ -61,7 +71,6 @@ int main(int argc, char** argv) {
                       "10", "50"});
   CsvWriter csv_out(csv, {"num_tips", "sample_size", "reference_models",
                           "rounds_to_target", "final_accuracy"});
-  Stopwatch watch;
 
   for (const std::size_t tips : tip_options) {
     for (const std::size_t multiplier : sample_multipliers) {
@@ -85,8 +94,10 @@ int main(int argc, char** argv) {
         config.seed = seed;
         config.threads = threads;
 
-        const core::RunResult run =
-            core::run_tangle_learning(dataset, factory, config);
+        const core::RunResult run = [&] {
+          auto timer = bench_run.phase("tangle-sweep");
+          return core::run_tangle_learning(dataset, factory, config);
+        }();
         const std::int64_t reached = run.rounds_to_accuracy(target);
         std::string cell;
         if (reached < 0) cell += '>';
@@ -101,13 +112,14 @@ int main(int argc, char** argv) {
       }
       table.add_row(std::move(row));
       std::cout << "... finished tips=" << tips << " sample="
-                << multiplier << "n (" << format_fixed(watch.seconds(), 0)
-                << "s elapsed)\n";
+                << multiplier << "n ("
+                << format_fixed(bench_run.seconds(), 0) << "s elapsed)\n";
     }
   }
 
   std::cout << "\n";
   table.print(std::cout);
   std::cout << "\n(series written to " << csv << ")\n";
+  bench_run.finish(std::cout);
   return 0;
 }

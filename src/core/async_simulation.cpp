@@ -4,10 +4,42 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace tanglefl::core {
 namespace {
+
+obs::Counter& wakeup_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("async.wakeups");
+  return counter;
+}
+
+obs::Counter& async_published_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("async.published");
+  return counter;
+}
+
+obs::Counter& async_lost_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("async.lost");
+  return counter;
+}
+
+obs::Counter& async_abstained_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("async.abstained");
+  return counter;
+}
+
+obs::Gauge& async_ledger_bytes_gauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::global().gauge("sim.ledger_bytes");
+  return gauge;
+}
 
 constexpr std::uint64_t kGenesisStream = 0x6e51;
 constexpr std::uint64_t kMaliciousStream = 0x3a11;
@@ -71,10 +103,15 @@ bool AsyncTangleSimulation::is_malicious(std::size_t user) const noexcept {
 }
 
 RoundRecord AsyncTangleSimulation::evaluate(double now) {
+  obs::TraceScope span("sim.evaluate");
   RoundRecord record;
   record.round = static_cast<std::uint64_t>(now);
   record.tangle_size = tangle_.size();
   record.tip_count = tangle_.view().tips().size();
+  record.published_cumulative = stats_.published;
+  record.suppressed_cumulative = stats_.abstained + stats_.lost;
+  record.ledger_bytes = store_.total_parameters() * sizeof(float);
+  async_ledger_bytes_gauge().set(static_cast<double>(record.ledger_bytes));
 
   const std::size_t num_users = dataset_->num_users();
   const auto eval_users = std::max<std::size_t>(
@@ -139,12 +176,14 @@ RunResult AsyncTangleSimulation::run() {
       const PendingPublish& top = pending.top();
       if (loss_rng.bernoulli(config_.publish_loss)) {
         ++stats_.lost;
+        async_lost_counter().increment();
       } else {
         const auto added = store_.add(top.request.params);
         tangle_.add_transaction(top.request.parents, added.id, added.hash,
                                 to_micros(top.time),
                                 top.malicious ? "malicious" : "async-node");
         ++stats_.published;
+        async_published_counter().increment();
       }
       pending.pop();
     }
@@ -161,6 +200,7 @@ RunResult AsyncTangleSimulation::run() {
     }
     flush_until(event.time);
     ++stats_.wakeups;
+    wakeup_counter().increment();
 
     // The node sees everything that propagated to it by now.
     const double horizon = event.time - config_.network_delay_seconds;
@@ -204,6 +244,7 @@ RunResult AsyncTangleSimulation::run() {
       pending.push({event.time + training, std::move(*publish), malicious});
     } else {
       ++stats_.abstained;
+      async_abstained_counter().increment();
     }
 
     // Schedule this node's next wakeup.

@@ -3,7 +3,32 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace tanglefl::core {
+namespace {
+
+// Shares the plain walk's statistics namespace: biased walks are still tip
+// selection walks, just with an extra loss term in the bias.
+obs::Counter& biased_walk_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("tangle.tip_walk.biased_count");
+  return counter;
+}
+
+obs::Histogram& biased_walk_length_histogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "tangle.tip_walk.length", obs::BucketLayout::exponential(1.0, 2.0, 14));
+  return hist;
+}
+
+obs::Counter& walk_loss_eval_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("tangle.tip_walk.loss_evals");
+  return counter;
+}
+
+}  // namespace
 
 double LocalLossCache::loss(const tangle::TangleView& view,
                             tangle::TxIndex index) {
@@ -19,6 +44,7 @@ double LocalLossCache::loss(const tangle::TangleView& view,
         store_->get(view.tangle().transaction(index).payload));
     value = data::evaluate(model, *validation_).loss;
     ++evaluations_;
+    walk_loss_eval_counter().increment();
   }
   cache_.emplace(index, value);
   return value;
@@ -28,11 +54,17 @@ tangle::TxIndex biased_random_walk_tip(
     const tangle::TangleView& view,
     std::span<const std::uint32_t> future_cones, LocalLossCache& cache,
     Rng& rng, const BiasedWalkConfig& config) {
+  biased_walk_counter().increment();
   tangle::TxIndex current = view.tangle().genesis();
   std::vector<double> weights;
+  std::uint64_t steps = 0;
   for (;;) {
     const std::vector<tangle::TxIndex> approvers = view.approvers(current);
-    if (approvers.empty()) return current;
+    if (approvers.empty()) {
+      biased_walk_length_histogram().record(static_cast<double>(steps));
+      return current;
+    }
+    ++steps;
     if (approvers.size() == 1) {
       current = approvers.front();
       continue;

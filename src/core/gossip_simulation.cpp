@@ -3,10 +3,42 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace tanglefl::core {
 namespace {
+
+obs::Counter& gossip_pull_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("gossip.pulls");
+  return counter;
+}
+
+obs::Counter& gossip_failed_pull_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("gossip.failed_pulls");
+  return counter;
+}
+
+obs::Counter& gossip_published_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("gossip.published");
+  return counter;
+}
+
+obs::Counter& gossip_suppressed_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("gossip.suppressed");
+  return counter;
+}
+
+obs::Gauge& gossip_ledger_bytes_gauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::global().gauge("sim.ledger_bytes");
+  return gauge;
+}
 
 constexpr std::uint64_t kGenesisStream = 0x6e51;
 constexpr std::uint64_t kTopologyStream = 0x70b0;
@@ -93,6 +125,7 @@ void GossipSimulation::pull(std::size_t from, std::size_t to) {
 }
 
 std::size_t GossipSimulation::run_round(std::uint64_t round) {
+  obs::TraceScope span("sim.round");
   assert(round >= 1);
   const std::size_t num_users = dataset_->num_users();
 
@@ -104,9 +137,12 @@ std::size_t GossipSimulation::run_round(std::uint64_t round) {
       for (const std::size_t peer : peers_[u]) {
         if (pull_rng.bernoulli(config_.pull_failure)) {
           ++stats_.failed_pulls;
+          gossip_failed_pull_counter().increment();
           continue;
         }
         pull(peer, u);
+        ++stats_.pulls;
+        gossip_pull_counter().increment();
       }
     }
   }
@@ -127,7 +163,11 @@ std::size_t GossipSimulation::run_round(std::uint64_t round) {
                             .split(user_index + 1)};
     HonestNode node(config_.node);
     auto publish = node.step(context, dataset_->user(user_index));
-    if (!publish) continue;
+    if (!publish) {
+      ++stats_.suppressed;
+      gossip_suppressed_counter().increment();
+      continue;
+    }
     const auto added = store_.add(std::move(publish->params));
     const tangle::TxIndex index = tangle_.add_transaction(
         publish->parents, added.id, added.hash, round,
@@ -137,16 +177,22 @@ std::size_t GossipSimulation::run_round(std::uint64_t round) {
     known_[user_index][index] = true;
     ++published;
     ++stats_.published;
+    gossip_published_counter().increment();
   }
   return published;
 }
 
 RoundRecord GossipSimulation::evaluate(std::uint64_t round) {
+  obs::TraceScope span("sim.evaluate");
   RoundRecord record;
   record.round = round;
   record.tangle_size = tangle_.size();
   record.tip_count = tangle_.view().tips().size();
   record.publish_rate = mean_coverage();  // repurposed: replica coverage
+  record.published_cumulative = stats_.published;
+  record.suppressed_cumulative = stats_.suppressed;
+  record.ledger_bytes = store_.total_parameters() * sizeof(float);
+  gossip_ledger_bytes_gauge().set(static_cast<double>(record.ledger_bytes));
 
   const std::size_t num_users = dataset_->num_users();
   Rng eval_rng = master_rng_.split(kEvalStream).split(round);

@@ -47,6 +47,8 @@ struct GossipStats {
   std::size_t published = 0;
   std::size_t failed_pulls = 0;
   double final_mean_coverage = 0.0;  // mean fraction of ledger known
+  std::size_t suppressed = 0;        // steps that abstained or failed the gate
+  std::size_t pulls = 0;             // successful anti-entropy pulls
 };
 
 class GossipSimulation {

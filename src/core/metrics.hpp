@@ -22,6 +22,13 @@ struct RoundRecord {
   std::size_t tangle_size = 0;     // transactions in the ledger (tangle only)
   std::size_t tip_count = 0;       // current tips (tangle only)
   double publish_rate = 0.0;       // honest publishes / honest participants
+  // Cumulative counts since the start of the run. Accumulated every round
+  // (not just eval rounds), so publish series are complete rather than
+  // sampled at eval_every boundaries. Appended last: older code aggregate-
+  // initializes the prefix positionally.
+  std::uint64_t published_cumulative = 0;   // transactions added to the ledger
+  std::uint64_t suppressed_cumulative = 0;  // steps that abstained/failed gate
+  std::size_t ledger_bytes = 0;             // payload bytes in the model store
 };
 
 struct RunResult {

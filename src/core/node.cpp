@@ -5,6 +5,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tanglefl::core {
 namespace {
 
@@ -15,6 +18,69 @@ double params_loss(const nn::ModelFactory& factory,
   nn::Model model = factory();
   model.set_parameters(params);
   return data::evaluate(model, split).loss;
+}
+
+// Publish/suppress accounting (Algorithm 2's outcomes) plus the candidate
+// statistics from the Section III-E robust selection step. All pure counts
+// and value histograms — deterministic for a given seed and config.
+obs::Counter& published_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("node.step.published");
+  return counter;
+}
+
+obs::Counter& suppressed_no_improvement_counter() {
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "node.step.suppressed.no_improvement");
+  return counter;
+}
+
+obs::Counter& suppressed_no_data_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("node.step.suppressed.no_data");
+  return counter;
+}
+
+obs::Counter& candidate_eval_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("node.candidates.evaluated");
+  return counter;
+}
+
+obs::Histogram& candidate_loss_histogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "node.candidate_loss", obs::BucketLayout::exponential(0.03125, 2.0, 12));
+  return hist;
+}
+
+// Per-phase wall timing for Algorithm 2; timing-kind, so only populated
+// when a harness enables obs timing.
+obs::Histogram& reference_timing() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "node.reference_us", obs::BucketLayout::exponential(16.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
+}
+
+obs::Histogram& tip_selection_timing() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "node.tip_selection_us", obs::BucketLayout::exponential(16.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
+}
+
+obs::Histogram& train_timing() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "node.train_us", obs::BucketLayout::exponential(16.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
+}
+
+obs::Histogram& validate_timing() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "node.validate_us", obs::BucketLayout::exponential(16.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
 }
 
 }  // namespace
@@ -55,7 +121,10 @@ std::vector<tangle::TxIndex> HonestNode::choose_parents(
   for (const tangle::TxIndex tip : distinct) {
     const nn::ParamVector& params =
         context.store.get(context.view.tangle().transaction(tip).payload);
-    scored.emplace_back(params_loss(context.factory, params, validation), tip);
+    const double loss = params_loss(context.factory, params, validation);
+    candidate_eval_counter().increment();
+    candidate_loss_histogram().record(loss);
+    scored.emplace_back(loss, tip);
   }
   std::sort(scored.begin(), scored.end());
 
@@ -72,7 +141,11 @@ std::vector<tangle::TxIndex> HonestNode::choose_parents(
 
 std::optional<PublishRequest> HonestNode::step(NodeContext& context,
                                                const data::UserData& user) {
-  if (user.train.empty()) return std::nullopt;
+  obs::TraceScope step_span("node.step");
+  if (user.train.empty()) {
+    suppressed_no_data_counter().increment();
+    return std::nullopt;
+  }
   // Validate against local test data; fall back to the training split for
   // users without one so tiny users can still participate.
   const data::DataSplit& validation =
@@ -80,12 +153,17 @@ std::optional<PublishRequest> HonestNode::step(NodeContext& context,
 
   // w_r <- ChooseReferenceWeights(G)
   Rng reference_rng = context.rng.split(0x3ef5);
-  const ReferenceResult reference = choose_reference(
-      context.view, context.store, reference_rng, config_.reference);
+  ReferenceResult reference = [&] {
+    obs::TraceScope span("node.choose_reference", &reference_timing());
+    return choose_reference(context.view, context.store, reference_rng,
+                            config_.reference);
+  }();
 
   // (w_1, .., w_n) <- TipSelection(G); w_avg <- mean
-  const std::vector<tangle::TxIndex> parents =
-      choose_parents(context, validation);
+  const std::vector<tangle::TxIndex> parents = [&] {
+    obs::TraceScope span("node.tip_selection", &tip_selection_timing());
+    return choose_parents(context, validation);
+  }();
   std::vector<const nn::ParamVector*> parent_params;
   parent_params.reserve(parents.size());
   for (const tangle::TxIndex p : parents) {
@@ -98,7 +176,10 @@ std::optional<PublishRequest> HonestNode::step(NodeContext& context,
   nn::Model model = context.factory();
   model.set_parameters(averaged);
   Rng train_rng = context.rng.split(0x7a19);
-  data::train_local(model, user.train, config_.training, train_rng);
+  {
+    obs::TraceScope span("node.train_local", &train_timing());
+    data::train_local(model, user.train, config_.training, train_rng);
+  }
 
   // Publishing-side transforms: the node validates exactly what it would
   // broadcast, so sanitized/compressed payloads face the same gate.
@@ -115,11 +196,16 @@ std::optional<PublishRequest> HonestNode::step(NodeContext& context,
   }
 
   // if ValidationLoss(w_new) < ValidationLoss(w_r): Broadcast(w_new)
+  obs::TraceScope validate_span("node.validate", &validate_timing());
   const double new_loss = data::evaluate(model, validation).loss;
   const double reference_loss =
       params_loss(context.factory, reference.params, validation);
-  if (new_loss >= reference_loss) return std::nullopt;
+  if (new_loss >= reference_loss) {
+    suppressed_no_improvement_counter().increment();
+    return std::nullopt;
+  }
 
+  published_counter().increment();
   return PublishRequest{parents, std::move(outgoing)};
 }
 

@@ -3,10 +3,44 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 
 namespace tanglefl::core {
 namespace {
+
+// Engine-level publish accounting: every round contributes (not only eval
+// rounds), so the publish/suppress series is complete.
+obs::Counter& rounds_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("sim.rounds");
+  return counter;
+}
+
+obs::Counter& published_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("sim.published");
+  return counter;
+}
+
+obs::Counter& published_malicious_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("sim.published.malicious");
+  return counter;
+}
+
+obs::Counter& suppressed_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("sim.suppressed");
+  return counter;
+}
+
+obs::Gauge& ledger_bytes_gauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::global().gauge("sim.ledger_bytes");
+  return gauge;
+}
 
 constexpr std::uint64_t kParticipantStream = 0x9a57;
 constexpr std::uint64_t kNodeStream = 0x40de;
@@ -73,6 +107,7 @@ bool TangleSimulation::is_malicious(std::size_t user) const noexcept {
 }
 
 std::size_t TangleSimulation::run_round(std::uint64_t round) {
+  obs::TraceScope span("sim.round");
   assert(round >= 1);
   const std::size_t num_users = dataset_->num_users();
   const std::size_t participants =
@@ -142,6 +177,7 @@ std::size_t TangleSimulation::run_round(std::uint64_t round) {
   std::size_t published = 0;
   std::size_t honest_published = 0;
   std::size_t honest_participants = 0;
+  std::size_t malicious_published = 0;
   for (std::size_t slot = 0; slot < participants; ++slot) {
     auto& result = results[slot];
     if (!result.malicious) ++honest_participants;
@@ -153,13 +189,22 @@ std::size_t TangleSimulation::run_round(std::uint64_t round) {
                                 ? "malicious"
                                 : dataset_->user(chosen[slot]).user_id);
     ++published;
-    if (!result.malicious) ++honest_published;
+    if (result.malicious) ++malicious_published;
+    else ++honest_published;
   }
   last_publish_rate_ =
       honest_participants > 0
           ? static_cast<double>(honest_published) /
                 static_cast<double>(honest_participants)
           : 0.0;
+
+  const std::size_t suppressed = participants - published;
+  published_total_ += published;
+  suppressed_total_ += suppressed;
+  rounds_counter().increment();
+  published_counter().add(published);
+  published_malicious_counter().add(malicious_published);
+  suppressed_counter().add(suppressed);
   return published;
 }
 
@@ -171,11 +216,16 @@ nn::ParamVector TangleSimulation::consensus_params() {
 }
 
 RoundRecord TangleSimulation::evaluate(std::uint64_t round) {
+  obs::TraceScope span("sim.evaluate");
   RoundRecord record;
   record.round = round;
   record.tangle_size = tangle_.size();
   record.tip_count = tangle_.view().tips().size();
   record.publish_rate = last_publish_rate_;
+  record.published_cumulative = published_total_;
+  record.suppressed_cumulative = suppressed_total_;
+  record.ledger_bytes = store_.total_parameters() * sizeof(float);
+  ledger_bytes_gauge().set(static_cast<double>(record.ledger_bytes));
 
   // Pool the test data of a random eval_nodes_fraction of all users.
   const std::size_t num_users = dataset_->num_users();
@@ -215,7 +265,9 @@ RunResult TangleSimulation::run() {
                  << record.accuracy << " loss=" << record.loss
                  << " tx=" << record.tangle_size
                  << " tips=" << record.tip_count
-                 << " published=" << published;
+                 << " published=" << published
+                 << " published_total=" << record.published_cumulative
+                 << " suppressed_total=" << record.suppressed_cumulative;
     }
   }
   return result;

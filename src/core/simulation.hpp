@@ -97,6 +97,10 @@ class TangleSimulation {
   std::vector<data::UserData> poisoned_users_;  // parallel to malicious_users_
 
   double last_publish_rate_ = 0.0;
+  // Accumulated every round, so evaluate() reports complete publish series
+  // even when eval_every samples only a subset of rounds.
+  std::uint64_t published_total_ = 0;
+  std::uint64_t suppressed_total_ = 0;
 };
 
 /// Convenience wrapper: construct, run, and label a simulation.

@@ -2,10 +2,29 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tanglefl::data {
+namespace {
+
+obs::Counter& batch_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("train.batches");
+  return counter;
+}
+
+obs::Counter& example_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("train.examples");
+  return counter;
+}
+
+}  // namespace
 
 double train_local(nn::Model& model, const DataSplit& split,
                    const TrainConfig& config, Rng& rng) {
+  obs::TraceScope span("data.train_local");
   if (split.empty()) return 0.0;
   nn::SgdOptimizer sgd(config.sgd);
   nn::AdamOptimizer adam(config.adam);
@@ -32,6 +51,8 @@ double train_local(nn::Model& model, const DataSplit& split,
 
       epoch_loss += loss.loss;
       ++batches;
+      batch_counter().increment();
+      example_counter().add(count);
     }
     final_epoch_loss = batches > 0 ? epoch_loss / static_cast<double>(batches)
                                    : 0.0;

@@ -4,7 +4,30 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tanglefl::nn {
+namespace {
+
+// Per-call wall timing of the two training-step halves; timing-kind
+// (manifest/trace only). The spans are batch-granular, so even a tracing
+// run stays far from per-element overhead.
+obs::Histogram& forward_timing() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "nn.forward_us", obs::BucketLayout::exponential(4.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
+}
+
+obs::Histogram& backward_timing() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "nn.backward_us", obs::BucketLayout::exponential(4.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
+}
+
+}  // namespace
 
 Model& Model::add(std::unique_ptr<Layer> layer) {
   layers_.push_back(std::move(layer));
@@ -19,12 +42,14 @@ void Model::init(Rng& rng) {
 }
 
 Tensor Model::forward(const Tensor& input, bool training) {
+  obs::TraceScope span("nn.forward", &forward_timing());
   Tensor x = input;
   for (auto& layer : layers_) x = layer->forward(x, training);
   return x;
 }
 
 Tensor Model::backward(const Tensor& grad_output) {
+  obs::TraceScope span("nn.backward", &backward_timing());
   Tensor g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
     g = (*it)->backward(g);

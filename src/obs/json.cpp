@@ -1,0 +1,135 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tanglefl::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (std::isnan(value)) return "\"nan\"";
+  if (std::isinf(value)) return value > 0 ? "\"inf\"" : "\"-inf\"";
+  char buf[40];
+  // %.17g round-trips every double and is byte-stable for equal inputs.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  std::string out(buf);
+  // Make integral doubles read as JSON numbers with a fractional part so
+  // downstream tooling does not reinterpret them as integers.
+  if (out.find_first_of(".eE") == std::string::npos &&
+      out.find_first_of("0123456789") != std::string::npos) {
+    out += ".0";
+  }
+  return out;
+}
+
+void JsonWriter::prepare_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (has_entry_.back()) out_ += ',';
+  has_entry_.back() = true;
+  if (depth_ > 0) newline_indent();
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(static_cast<std::size_t>(depth_ * indent_), ' ');
+}
+
+void JsonWriter::begin_object() {
+  prepare_value();
+  out_ += '{';
+  ++depth_;
+  has_entry_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  bool had_entries = has_entry_.back();
+  has_entry_.pop_back();
+  --depth_;
+  if (had_entries) newline_indent();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  prepare_value();
+  out_ += '[';
+  ++depth_;
+  has_entry_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  bool had_entries = has_entry_.back();
+  has_entry_.pop_back();
+  --depth_;
+  if (had_entries) newline_indent();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  if (has_entry_.back()) out_ += ',';
+  has_entry_.back() = true;
+  newline_indent();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view text) {
+  prepare_value();
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+}
+
+void JsonWriter::value(bool flag) {
+  prepare_value();
+  out_ += flag ? "true" : "false";
+}
+
+void JsonWriter::value(double number) {
+  prepare_value();
+  out_ += json_number(number);
+}
+
+void JsonWriter::value(std::int64_t number) {
+  prepare_value();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  prepare_value();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::raw(std::string_view token) {
+  prepare_value();
+  out_ += token;
+}
+
+}  // namespace tanglefl::obs

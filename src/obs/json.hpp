@@ -1,0 +1,65 @@
+// Minimal deterministic JSON writer for metric snapshots, run manifests and
+// Chrome trace files. Output is byte-stable for identical inputs: keys are
+// emitted in the order the caller provides them (callers sort where the
+// determinism contract requires it) and doubles are formatted with a fixed
+// round-trippable format, so two identical runs serialize identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tanglefl::obs {
+
+/// Escapes `text` for inclusion inside a JSON string literal (no quotes).
+std::string json_escape(std::string_view text);
+
+/// Formats a double as a JSON number token. Non-finite values (which JSON
+/// cannot represent) are emitted as quoted strings "inf"/"-inf"/"nan".
+std::string json_number(double value);
+
+/// Streaming JSON writer. The caller is responsible for well-formedness
+/// (matching begin/end calls); commas are inserted automatically.
+class JsonWriter {
+ public:
+  /// `indent` > 0 pretty-prints with that many spaces per level; 0 emits
+  /// a compact single-line document.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits `"name":` — must be followed by exactly one value or container.
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(bool flag);
+  void value(double number);
+  void value(std::int64_t number);
+  void value(std::uint64_t number);
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+
+  /// Emits a pre-formatted JSON token verbatim (e.g. a nested document).
+  void raw(std::string_view token);
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void prepare_value();
+  void newline_indent();
+
+  std::string out_;
+  int indent_ = 2;
+  int depth_ = 0;
+  // One flag per nesting level: whether the container already has an entry
+  // (controls comma placement). Index 0 is the top level.
+  std::vector<bool> has_entry_{false};
+  bool pending_key_ = false;
+};
+
+}  // namespace tanglefl::obs

@@ -1,0 +1,57 @@
+#include "obs/manifest.hpp"
+
+#include <fstream>
+
+#include "obs/json.hpp"
+
+#ifndef TANGLEFL_GIT_DESCRIBE
+#define TANGLEFL_GIT_DESCRIBE "unknown"
+#endif
+
+namespace tanglefl::obs {
+
+const char* git_describe() noexcept { return TANGLEFL_GIT_DESCRIBE; }
+
+std::string manifest_json(const RunManifest& manifest,
+                          const MetricsSnapshot& metrics) {
+  JsonWriter writer(2);
+  writer.begin_object();
+  writer.key("name");
+  writer.value(manifest.name);
+  writer.key("seed");
+  writer.value(manifest.seed);
+  writer.key("git");
+  writer.value(manifest.git);
+  writer.key("config");
+  writer.begin_object();
+  for (const auto& [key, value] : manifest.config) {
+    writer.key(key);
+    writer.value(value);
+  }
+  writer.end_object();
+  writer.key("phases_seconds");
+  writer.begin_object();
+  for (const auto& [phase, seconds] : manifest.phase_seconds) {
+    writer.key(phase);
+    writer.value(seconds);
+  }
+  writer.end_object();
+  writer.key("total_seconds");
+  writer.value(manifest.total_seconds);
+  writer.key("metrics");
+  metrics.write(writer);
+  writer.end_object();
+  return writer.take();
+}
+
+bool write_manifest(const std::string& path, const RunManifest& manifest,
+                    const MetricsSnapshot& metrics) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::string json = manifest_json(manifest, metrics);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace tanglefl::obs

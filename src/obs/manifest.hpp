@@ -1,0 +1,40 @@
+// Run manifests: one JSON document per harness run recording what was run
+// (name, config, seed, build), how long each phase took, and the final full
+// metric snapshot. Written next to the existing CSV outputs so a result file
+// is never separated from the conditions that produced it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace tanglefl::obs {
+
+/// `git describe --always --dirty` captured at configure time; "unknown"
+/// when the build tree had no git metadata.
+const char* git_describe() noexcept;
+
+struct RunManifest {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::string git = git_describe();
+  /// Harness configuration, in insertion order (values pre-formatted).
+  std::vector<std::pair<std::string, std::string>> config;
+  /// Wall seconds per named phase, in insertion order.
+  std::vector<std::pair<std::string, double>> phase_seconds;
+  double total_seconds = 0.0;
+};
+
+/// Serializes the manifest plus a metric snapshot as pretty-printed JSON.
+std::string manifest_json(const RunManifest& manifest,
+                          const MetricsSnapshot& metrics);
+
+/// Writes manifest_json() to `path` (plus trailing newline); returns false
+/// on I/O failure.
+bool write_manifest(const std::string& path, const RunManifest& manifest,
+                    const MetricsSnapshot& metrics);
+
+}  // namespace tanglefl::obs

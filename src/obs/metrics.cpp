@@ -1,0 +1,286 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace tanglefl::obs {
+namespace {
+
+std::size_t thread_shard_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % Counter::kShards;
+  return slot;
+}
+
+void atomic_add_double(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t delta) noexcept {
+  shards_[thread_shard_slot()].count.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (Shard& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+BucketLayout BucketLayout::linear(double start, double width, std::size_t count) {
+  BucketLayout layout;
+  layout.upper_bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    layout.upper_bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return layout;
+}
+
+BucketLayout BucketLayout::exponential(double start, double factor,
+                                       std::size_t count) {
+  BucketLayout layout;
+  layout.upper_bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    layout.upper_bounds.push_back(bound);
+    bound *= factor;
+  }
+  return layout;
+}
+
+Histogram::Histogram(BucketLayout layout) : bounds_(std::move(layout.upper_bounds)) {
+  if (bounds_.empty() || !std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "histogram bounds must be non-empty and strictly increasing");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::record(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, value);
+  atomic_min_double(min_, value);
+  atomic_max_double(max_, value);
+}
+
+double Histogram::min() const noexcept {
+  const double value = min_.load(std::memory_order_relaxed);
+  return std::isinf(value) ? 0.0 : value;
+}
+
+double Histogram::max() const noexcept {
+  const double value = max_.load(std::memory_order_relaxed);
+  return std::isinf(value) ? 0.0 : value;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, bool timing) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.counter = std::make_unique<Counter>();
+    entry.timing = timing;
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  } else if (!it->second.counter) {
+    throw std::logic_error("metric registered with a different type: " +
+                           std::string(name));
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, bool timing) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.gauge = std::make_unique<Gauge>();
+    entry.timing = timing;
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  } else if (!it->second.gauge) {
+    throw std::logic_error("metric registered with a different type: " +
+                           std::string(name));
+  }
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const BucketLayout& layout, bool timing) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.histogram = std::make_unique<Histogram>(layout);
+    entry.timing = timing;
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  } else if (!it->second.histogram) {
+    throw std::logic_error("metric registered with a different type: " +
+                           std::string(name));
+  } else if (it->second.histogram->upper_bounds() != layout.upper_bounds) {
+    throw std::logic_error("metric registered with a different bucket layout: " +
+                           std::string(name));
+  }
+  return *it->second.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(SnapshotKind kind) const {
+  MetricsSnapshot snap;
+  snap.kind = kind;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : entries_) {
+    if (kind == SnapshotKind::kDeterministic && entry.timing) continue;
+    if (entry.counter) {
+      snap.counters.push_back({name, entry.counter->value(), entry.timing});
+    } else if (entry.gauge) {
+      snap.gauges.push_back({name, entry.gauge->value(), entry.timing});
+    } else if (entry.histogram) {
+      const Histogram& hist = *entry.histogram;
+      HistogramSnapshot h;
+      h.name = name;
+      h.upper_bounds = hist.upper_bounds();
+      h.bucket_counts = hist.bucket_counts();
+      h.count = hist.count();
+      h.sum = hist.sum();
+      h.min = hist.min();
+      h.max = hist.max();
+      h.timing = entry.timing;
+      snap.histograms.push_back(std::move(h));
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    (void)name;
+    if (entry.counter) entry.counter->reset();
+    if (entry.gauge) entry.gauge->reset();
+    if (entry.histogram) entry.histogram->reset();
+  }
+}
+
+std::string MetricsSnapshot::to_json(int indent) const {
+  JsonWriter writer(indent);
+  write(writer);
+  return writer.take();
+}
+
+void MetricsSnapshot::write(JsonWriter& writer) const {
+  writer.begin_object();
+  writer.key("kind");
+  writer.value(kind == SnapshotKind::kDeterministic ? "deterministic" : "full");
+  writer.key("counters");
+  writer.begin_object();
+  for (const CounterSnapshot& c : counters) {
+    writer.key(c.name);
+    writer.value(c.value);
+  }
+  writer.end_object();
+  writer.key("gauges");
+  writer.begin_object();
+  for (const GaugeSnapshot& g : gauges) {
+    writer.key(g.name);
+    writer.value(g.value);
+  }
+  writer.end_object();
+  writer.key("histograms");
+  writer.begin_object();
+  for (const HistogramSnapshot& h : histograms) {
+    writer.key(h.name);
+    writer.begin_object();
+    writer.key("count");
+    writer.value(h.count);
+    writer.key("min");
+    writer.value(h.min);
+    writer.key("max");
+    writer.value(h.max);
+    if (kind == SnapshotKind::kFull) {
+      // Parallel double accumulation is order-dependent; the sum only
+      // appears in full (manifest) snapshots.
+      writer.key("sum");
+      writer.value(h.sum);
+    }
+    writer.key("buckets");
+    writer.begin_array();
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      writer.begin_object();
+      writer.key("le");
+      if (i < h.upper_bounds.size()) {
+        writer.value(h.upper_bounds[i]);
+      } else {
+        writer.value("inf");
+      }
+      writer.key("count");
+      writer.value(h.bucket_counts[i]);
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.end_object();
+  }
+  writer.end_object();
+  writer.end_object();
+}
+
+}  // namespace tanglefl::obs

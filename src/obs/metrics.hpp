@@ -1,0 +1,179 @@
+// Thread-safe metrics registry: counters, gauges, and fixed-bucket
+// histograms, named by string handles that call sites resolve once (keep a
+// static reference) and then update lock-free.
+//
+// Determinism contract: the registry can produce two snapshot flavors.
+//   - kDeterministic: only order-independent integer state — counter values,
+//     gauge values, histogram bucket counts / total count / min / max. All
+//     metrics registered as `timing` (wall-clock derived) are excluded, as is
+//     each histogram's floating-point `sum` (parallel accumulation of doubles
+//     is order-dependent). Two runs with the same seed and config serialize
+//     byte-identically regardless of thread count.
+//   - kFull: everything, including timing metrics and sums. Used for run
+//     manifests, never for determinism diffing.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tanglefl::obs {
+
+/// Monotonically increasing integer counter. Increments are sharded across
+/// cache-line-padded atomics keyed by a per-thread slot, so concurrent
+/// increments from a thread pool do not contend; value() sums the shards.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t delta) noexcept;
+  void increment() noexcept { add(1); }
+  std::uint64_t value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-writer-wins double value. Deterministic only when set from a
+/// deterministic (single-threaded or ordered) context, e.g. the per-round
+/// evaluation barrier.
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed bucket layout: strictly increasing upper bounds with an implicit
+/// +inf overflow bucket. A value lands in the first bucket whose upper bound
+/// is >= the value (Prometheus-style "le" semantics).
+struct BucketLayout {
+  std::vector<double> upper_bounds;
+
+  /// count buckets: start, start+width, ..., start+(count-1)*width.
+  static BucketLayout linear(double start, double width, std::size_t count);
+  /// count buckets: start, start*factor, start*factor^2, ...
+  static BucketLayout exponential(double start, double factor, std::size_t count);
+};
+
+/// Thread-safe histogram over a fixed bucket layout. Bucket counts, total
+/// count, min and max are order-independent; `sum` is not (double addition
+/// is non-associative) and is therefore excluded from deterministic
+/// snapshots.
+class Histogram {
+ public:
+  explicit Histogram(BucketLayout layout);
+
+  void record(double value) noexcept;
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// 0.0 when the histogram is empty.
+  double min() const noexcept;
+  double max() const noexcept;
+  const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the +inf overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+enum class SnapshotKind { kDeterministic, kFull };
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+  bool timing = false;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+  bool timing = false;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  bool timing = false;
+};
+
+class JsonWriter;
+
+/// Point-in-time copy of the registry, sorted by metric name.
+struct MetricsSnapshot {
+  SnapshotKind kind = SnapshotKind::kFull;
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Deterministic serialization: metrics sorted by name, fixed number
+  /// formatting. For kDeterministic snapshots the output is byte-identical
+  /// across equal-seed runs. `indent` as in JsonWriter.
+  std::string to_json(int indent = 2) const;
+
+  /// Writes the snapshot as one JSON object into an in-progress document
+  /// (used to nest the snapshot inside a run manifest).
+  void write(JsonWriter& writer) const;
+};
+
+/// Process-wide registry. Handle lookup takes a mutex; call sites resolve
+/// their handles once (static reference) and update lock-free afterwards.
+/// Handles stay valid for the life of the registry; reset() zeroes values
+/// without invalidating them.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  /// `timing` marks the metric as wall-clock derived: it is kept out of
+  /// deterministic snapshots. Re-registering an existing name returns the
+  /// existing instance; the kind and layout must match.
+  Counter& counter(std::string_view name, bool timing = false);
+  Gauge& gauge(std::string_view name, bool timing = false);
+  Histogram& histogram(std::string_view name, const BucketLayout& layout,
+                       bool timing = false);
+
+  MetricsSnapshot snapshot(SnapshotKind kind = SnapshotKind::kFull) const;
+  /// Zeroes every metric's value; handles remain valid.
+  void reset();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    bool timing = false;
+  };
+
+  mutable std::mutex mutex_;
+  // Ordered map: snapshot iteration is sorted by name for free, and node
+  // stability keeps handle references valid across registrations.
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace tanglefl::obs

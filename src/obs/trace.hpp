@@ -1,0 +1,92 @@
+// Scoped tracing: RAII spans that feed an optional Chrome trace_event sink
+// and optional wall-clock timing histograms.
+//
+// Cost model: with no sink attached and timing disabled, a TraceScope is two
+// relaxed atomic loads and no clock read — cheap enough to leave compiled
+// into per-node / per-batch hot paths. Wall-clock values only ever flow into
+// the trace file and timing-kind metrics (excluded from deterministic
+// snapshots), never into simulation state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace tanglefl::obs {
+
+/// Collects complete spans ("ph":"X" events) and writes them as Chrome
+/// trace_event JSON, loadable in chrome://tracing or https://ui.perfetto.dev.
+/// record() is thread-safe; the file is written by flush() or the destructor.
+class TraceSink {
+ public:
+  explicit TraceSink(std::string path);
+  /// Flushes if the caller has not already done so. Never throws; a failed
+  /// write at destruction is reported via log_error.
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  void record(const char* name, std::uint64_t start_us,
+              std::uint64_t duration_us);
+
+  /// Writes the trace file; returns false on I/O failure.
+  bool flush();
+
+  std::size_t event_count() const;
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  struct Event {
+    const char* name;  // string literal supplied by TraceScope call sites
+    std::uint64_t start_us;
+    std::uint64_t duration_us;
+    std::uint32_t thread_ordinal;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::string path_;
+  bool flushed_ = false;
+};
+
+/// Attaches/detaches the process-global trace sink. Passing nullptr detaches.
+/// The caller keeps ownership and must detach before destroying the sink.
+void set_trace_sink(TraceSink* sink) noexcept;
+TraceSink* trace_sink() noexcept;
+
+/// Globally enables wall-clock timing histograms (TraceScope with an
+/// attached histogram, ThreadPool queue-wait/execute). Off by default so the
+/// deterministic test path never reads the clock in hot loops.
+void set_timing_enabled(bool enabled) noexcept;
+bool timing_enabled() noexcept;
+
+/// Small dense id for the calling thread (0, 1, 2, ... in first-use order);
+/// used as the "tid" in trace events.
+std::uint32_t thread_ordinal() noexcept;
+
+/// RAII span. `name` must be a string literal (stored by pointer). When a
+/// trace sink is attached the span is recorded there; when timing is enabled
+/// and `timing_us` is non-null the duration in microseconds is also recorded
+/// into that histogram.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name,
+                      Histogram* timing_us = nullptr) noexcept;
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_;
+  TraceSink* sink_;
+  Histogram* timing_us_;
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace tanglefl::obs

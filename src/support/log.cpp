@@ -24,8 +24,13 @@ const char* level_name(LogLevel level) noexcept {
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+bool log_enabled(LogLevel level) noexcept {
+  if (level == LogLevel::kOff) return false;
+  return static_cast<int>(level) >= static_cast<int>(g_level.load());
+}
+
 void log_line(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  if (!log_enabled(level)) return;
   std::string line = "[";
   line += level_name(level);
   line += "] ";

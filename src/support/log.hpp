@@ -3,6 +3,7 @@
 // Warn to keep output clean.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -10,9 +11,14 @@ namespace tanglefl {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Sets the global minimum level that is actually emitted.
+/// Sets the global minimum level that is actually emitted. kOff silences
+/// everything (it is a threshold, not an emittable level).
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// True when a message logged at `level` would currently be emitted.
+/// kOff-level messages are never emitted.
+bool log_enabled(LogLevel level) noexcept;
 
 /// Emits one line ("[level] message") to stderr if `level` passes the
 /// threshold. Thread-safe (single write call per line).
@@ -20,19 +26,26 @@ void log_line(LogLevel level, const std::string& message);
 
 namespace detail {
 
+// Suppressed messages must cost as little as possible: the per-node hot
+// loop logs at Debug while benchmarks run at Warn, so the stream (and any
+// operator<< formatting) only exists when the message will be emitted.
 class LogStream {
  public:
-  explicit LogStream(LogLevel level) noexcept : level_(level) {}
-  ~LogStream() { log_line(level_, stream_.str()); }
+  explicit LogStream(LogLevel level) : level_(level) {
+    if (log_enabled(level)) stream_.emplace();
+  }
+  ~LogStream() {
+    if (stream_) log_line(level_, stream_->str());
+  }
   template <typename T>
   LogStream& operator<<(const T& value) {
-    stream_ << value;
+    if (stream_) *stream_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
-  std::ostringstream stream_;
+  std::optional<std::ostringstream> stream_;
 };
 
 }  // namespace detail

@@ -1,7 +1,13 @@
 // Monotonic wall-clock stopwatch for coarse experiment timing.
+//
+// This header is the only sanctioned clock access point outside support/:
+// tools/lint.py bans direct std::chrono::*::now() calls elsewhere so that
+// every timing read is auditable against the determinism contract (wall
+// time must never feed simulation state, only manifests and traces).
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace tanglefl {
 
@@ -16,9 +22,38 @@ class Stopwatch {
 
   void restart() noexcept { start_ = Clock::now(); }
 
+  /// Microseconds since a process-wide epoch (the first call). Monotonic;
+  /// used for trace timestamps so all spans share one time base.
+  static std::uint64_t now_micros() noexcept {
+    static const Clock::time_point epoch = Clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              epoch)
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII timer: adds the scope's elapsed wall seconds to `accumulator` on
+/// destruction. Lets callers sum time across repeated scopes:
+///
+///   double train_seconds = 0.0;
+///   for (...) { ScopedTimer timer(train_seconds); train(...); }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& accumulator) noexcept
+      : accumulator_(&accumulator) {}
+  ~ScopedTimer() { *accumulator_ += watch_.seconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* accumulator_;
+  Stopwatch watch_;
 };
 
 }  // namespace tanglefl

@@ -5,6 +5,10 @@
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/stopwatch.hpp"
+
 namespace tanglefl {
 
 namespace {
@@ -12,7 +16,30 @@ namespace {
 // can detect re-entrant calls from its own workers and degrade to inline
 // serial execution instead of deadlocking.
 thread_local const ThreadPool* tls_owner_pool = nullptr;
+
+// Timing-kind metrics: wall-clock derived and scheduling-dependent, so they
+// are excluded from deterministic snapshots and only populated when
+// obs::set_timing_enabled(true) is in effect (bench harnesses).
+obs::Histogram& queue_wait_histogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "pool.queue_wait_us", obs::BucketLayout::exponential(1.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
+}
+
+obs::Histogram& task_exec_histogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "pool.task_exec_us", obs::BucketLayout::exponential(1.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
+}
 }  // namespace
+
+namespace detail {
+std::uint64_t pool_enqueue_timestamp() noexcept {
+  return obs::timing_enabled() ? Stopwatch::now_micros() : 0;
+}
+}  // namespace detail
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -42,7 +69,7 @@ bool ThreadPool::on_worker_thread() const noexcept {
 void ThreadPool::worker_loop() {
   tls_owner_pool = this;
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
@@ -50,13 +77,21 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    if (task.enqueue_us != 0) {
+      queue_wait_histogram().record(
+          static_cast<double>(Stopwatch::now_micros() - task.enqueue_us));
+    }
+    {
+      obs::TraceScope span("pool.task", &task_exec_histogram());
+      task.fn();
+    }
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  obs::TraceScope span("pool.parallel_for");
   {
     std::scoped_lock lock(mutex_);
     if (stopping_) {

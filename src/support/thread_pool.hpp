@@ -24,6 +24,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -33,6 +34,14 @@
 #include <vector>
 
 namespace tanglefl {
+
+namespace detail {
+/// Enqueue timestamp for pool observability (obs::timing_enabled() gated):
+/// microseconds since the process epoch, or 0 when timing is disabled so
+/// the hot path never reads the clock. Defined in thread_pool.cpp to keep
+/// obs headers out of this widely-included one.
+std::uint64_t pool_enqueue_timestamp() noexcept;
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -69,7 +78,7 @@ class ThreadPool {
         throw std::runtime_error(
             "ThreadPool::submit: pool is shut down; task rejected");
       }
-      tasks_.emplace([task] { (*task)(); });
+      tasks_.push({[task] { (*task)(); }, detail::pool_enqueue_timestamp()});
     }
     cv_.notify_one();
     return result;
@@ -88,8 +97,15 @@ class ThreadPool {
   void worker_loop();
   bool on_worker_thread() const noexcept;
 
+  struct QueuedTask {
+    std::function<void()> fn;
+    // 0 when obs timing is disabled; otherwise micros since process epoch,
+    // used to report queue-wait time when the task is dequeued.
+    std::uint64_t enqueue_us = 0;
+  };
+
   std::vector<std::thread> workers_;  // lint:allow(unlocked-mutation) set once in ctor, joined in shutdown
-  std::queue<std::function<void()>> tasks_;
+  std::queue<QueuedTask> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -2,13 +2,41 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "tangle/invariants.hpp"
 
 namespace tanglefl::tangle {
+namespace {
+
+obs::Counter& confidence_run_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("tangle.confidence.runs");
+  return counter;
+}
+
+obs::Counter& confidence_sample_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("tangle.confidence.sample_walks");
+  return counter;
+}
+
+obs::Histogram& confidence_timing_histogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "tangle.confidence_us", obs::BucketLayout::exponential(4.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
+}
+
+}  // namespace
 
 std::vector<double> compute_confidences(const TangleView& view, Rng& rng,
                                         const ConfidenceConfig& config) {
+  obs::TraceScope span("tangle.compute_confidences",
+                       &confidence_timing_histogram());
+  confidence_run_counter().increment();
+  confidence_sample_counter().add(config.sample_rounds);
   std::vector<double> confidence(view.size(), 0.0);
   if (view.size() == 0 || config.sample_rounds == 0) return confidence;
 

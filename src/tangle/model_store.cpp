@@ -4,7 +4,38 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tanglefl::tangle {
+namespace {
+
+obs::Counter& add_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("store.add.count");
+  return counter;
+}
+
+obs::Counter& dedup_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("store.add.deduplicated");
+  return counter;
+}
+
+obs::Counter& get_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("store.get.count");
+  return counter;
+}
+
+obs::Histogram& add_timing_histogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "store.add_us", obs::BucketLayout::exponential(1.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
+}
+
+}  // namespace
 
 Sha256Digest ModelStore::hash_params(std::span<const float> params) {
   return Sha256::hash(std::span<const std::uint8_t>(
@@ -13,6 +44,8 @@ Sha256Digest ModelStore::hash_params(std::span<const float> params) {
 }
 
 ModelStore::AddResult ModelStore::add(nn::ParamVector params) {
+  obs::TraceScope span("store.add", &add_timing_histogram());
+  add_counter().increment();
   AddResult result;
   result.hash = hash_params(params);
   const std::string key = to_hex(result.hash);
@@ -21,6 +54,7 @@ ModelStore::AddResult ModelStore::add(nn::ParamVector params) {
   if (const auto it = by_hash_.find(key); it != by_hash_.end()) {
     result.id = it->second;
     result.deduplicated = true;
+    dedup_counter().increment();
     return result;
   }
   result.id = entries_.size();
@@ -30,6 +64,7 @@ ModelStore::AddResult ModelStore::add(nn::ParamVector params) {
 }
 
 const nn::ParamVector& ModelStore::get(PayloadId id) const {
+  get_counter().increment();
   std::shared_lock lock(mutex_);
   if (id >= entries_.size()) {
     throw std::out_of_range("ModelStore::get: unknown payload id");

@@ -5,11 +5,43 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "tangle/invariants.hpp"
 
 namespace tanglefl::tangle {
 namespace {
+
+obs::Counter& add_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("tangle.transactions.added");
+  return counter;
+}
+
+// Rounds (micros for the async engine) between a transaction and each
+// distinct parent it approves: the paper's parent-approval depth. Genesis
+// approvals from round-1 publishers land in the first bucket.
+obs::Histogram& approval_depth_histogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "tangle.approval_depth", obs::BucketLayout::exponential(1.0, 4.0, 16));
+  return hist;
+}
+
+// Cumulative-weight recomputation is the O(n^2/64) hot spot of tip
+// selection and confidence; count invocations and (timing-only) wall cost.
+obs::Counter& cone_recompute_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("tangle.cone_recompute.count");
+  return counter;
+}
+
+obs::Histogram& cone_recompute_timing_histogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "tangle.cone_recompute_us", obs::BucketLayout::exponential(4.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
+}
 
 // Re-audits the whole structure after a mutation when the build opts into
 // debug checks; compiles to nothing otherwise. Kept out of line so the
@@ -104,6 +136,9 @@ std::vector<TxIndex> TangleView::approvers(TxIndex index) const {
 }
 
 std::vector<std::uint32_t> TangleView::past_cone_sizes() const {
+  obs::TraceScope span("tangle.past_cone_sizes",
+                       &cone_recompute_timing_histogram());
+  cone_recompute_counter().increment();
   BitMatrix reach(count_);
   std::vector<std::uint32_t> sizes(count_, 0);
   // Parents always precede children in insertion order, so one ascending
@@ -122,6 +157,9 @@ std::vector<std::uint32_t> TangleView::past_cone_sizes() const {
 }
 
 std::vector<std::uint32_t> TangleView::future_cone_sizes() const {
+  obs::TraceScope span("tangle.future_cone_sizes",
+                       &cone_recompute_timing_histogram());
+  cone_recompute_counter().increment();
   BitMatrix reach(count_);
   std::vector<std::uint32_t> sizes(count_, 0);
   for (TxIndex ii = count_; ii > 0; --ii) {
@@ -185,6 +223,7 @@ TxIndex Tangle::add_transaction(std::span<const TxIndex> parents,
                                 const Sha256Digest& payload_hash,
                                 std::uint64_t round, std::string publisher,
                                 std::uint64_t nonce) {
+  obs::TraceScope span("tangle.add_transaction");
   if (parents.empty()) {
     throw std::invalid_argument("add_transaction: no parents");
   }
@@ -218,7 +257,12 @@ TxIndex Tangle::add_transaction(std::span<const TxIndex> parents,
   std::sort(distinct.begin(), distinct.end());
   distinct.erase(std::unique(distinct.begin(), distinct.end()),
                  distinct.end());
-  for (const TxIndex p : distinct) approvers_[p].push_back(index);
+  for (const TxIndex p : distinct) {
+    approvers_[p].push_back(index);
+    approval_depth_histogram().record(
+        static_cast<double>(round - transactions_[p].round));
+  }
+  add_counter().increment();
   debug_check_invariants(*this);
   return index;
 }

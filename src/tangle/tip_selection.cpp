@@ -3,20 +3,63 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace tanglefl::tangle {
+namespace {
+
+// Walk statistics the paper's analyses (Kuśmierz et al., Popov et al.) are
+// framed in: how many walks ran, how long each was, and how often a step had
+// several approvers to bias between. Pure counts — deterministic for a
+// given seed and config.
+obs::Counter& walk_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("tangle.tip_walk.count");
+  return counter;
+}
+
+obs::Histogram& walk_length_histogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "tangle.tip_walk.length", obs::BucketLayout::exponential(1.0, 2.0, 14));
+  return hist;
+}
+
+obs::Counter& walk_branch_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("tangle.tip_walk.branch_steps");
+  return counter;
+}
+
+obs::Counter& uniform_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("tangle.tip_walk.uniform_count");
+  return counter;
+}
+
+}  // namespace
 
 TxIndex random_walk_tip(const TangleView& view,
                         std::span<const std::uint32_t> future_cones, Rng& rng,
                         const TipSelectionConfig& config) {
+  walk_counter().increment();
   TxIndex current = view.tangle().genesis();
   std::vector<double> weights;
+  std::uint64_t steps = 0;
+  std::uint64_t branch_steps = 0;
   for (;;) {
     const std::vector<TxIndex> approvers = view.approvers(current);
-    if (approvers.empty()) return current;  // reached a tip
+    if (approvers.empty()) {
+      // reached a tip
+      walk_length_histogram().record(static_cast<double>(steps));
+      walk_branch_counter().add(branch_steps);
+      return current;
+    }
+    ++steps;
     if (approvers.size() == 1) {
       current = approvers.front();
       continue;
     }
+    ++branch_steps;
     // exp(alpha * (w - w_max)) keeps the weights in (0, 1] for stability.
     std::uint32_t max_weight = 0;
     for (const TxIndex a : approvers) {
@@ -33,6 +76,7 @@ TxIndex random_walk_tip(const TangleView& view,
 }
 
 TxIndex uniform_random_tip(const TangleView& view, Rng& rng) {
+  uniform_counter().increment();
   const std::vector<TxIndex> tips = view.tips();
   if (tips.empty()) return view.tangle().genesis();
   return tips[rng.uniform_index(tips.size())];

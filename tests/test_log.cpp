@@ -1,0 +1,98 @@
+#include "support/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tanglefl {
+namespace {
+
+// Restores the global log level after each test so the suite-wide kWarn
+// default (set in other test mains) is not perturbed.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+
+  LogLevel previous_ = LogLevel::kInfo;
+};
+
+// Ostream-printable probe that records whether operator<< ever ran; proves
+// the early-out skips formatting entirely, not just the final write.
+struct FormatProbe {
+  mutable int* format_calls;
+};
+
+std::ostream& operator<<(std::ostream& os, const FormatProbe& probe) {
+  ++(*probe.format_calls);
+  return os << "probe";
+}
+
+TEST_F(LogTest, EmitsAtOrAboveThreshold) {
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::kInfo, "visible info");
+  log_line(LogLevel::kError, "visible error");
+  std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("[info] visible info"), std::string::npos);
+  EXPECT_NE(output.find("[error] visible error"), std::string::npos);
+}
+
+TEST_F(LogTest, SuppressesBelowThreshold) {
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::kDebug, "hidden debug");
+  log_line(LogLevel::kInfo, "hidden info");
+  log_line(LogLevel::kWarn, "visible warn");
+  std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(output.find("hidden"), std::string::npos);
+  EXPECT_NE(output.find("[warn] visible warn"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::kDebug, "d");
+  log_line(LogLevel::kInfo, "i");
+  log_line(LogLevel::kWarn, "w");
+  log_line(LogLevel::kError, "e");
+  // A message "at" kOff must not sneak through the threshold comparison.
+  log_line(LogLevel::kOff, "o");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LogTest, LogEnabledMatchesThreshold) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_FALSE(log_enabled(LogLevel::kOff));
+
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, SuppressedStreamSkipsFormatting) {
+  set_log_level(LogLevel::kWarn);
+  int format_calls = 0;
+  testing::internal::CaptureStderr();
+  log_debug() << "value: " << FormatProbe{&format_calls};
+  log_info() << FormatProbe{&format_calls};
+  std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(format_calls, 0);
+  EXPECT_EQ(output, "");
+}
+
+TEST_F(LogTest, EnabledStreamFormatsAndEmits) {
+  set_log_level(LogLevel::kDebug);
+  int format_calls = 0;
+  testing::internal::CaptureStderr();
+  log_warn() << "probe=" << FormatProbe{&format_calls};
+  std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(format_calls, 1);
+  EXPECT_NE(output.find("[warn] probe=probe"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tanglefl

@@ -1,0 +1,262 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
+
+namespace tanglefl::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Counter, AddAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.increment();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Counter, ParallelForIncrementsSumExactly) {
+  // The sharded counter must not lose increments under the same
+  // parallel_for the simulation engine uses for per-round training.
+  Counter counter;
+  ThreadPool pool(4);
+  constexpr std::size_t kIterations = 10000;
+  pool.parallel_for(kIterations, [&](std::size_t i) {
+    counter.increment();
+    if (i % 10 == 0) counter.add(2);
+  });
+  EXPECT_EQ(counter.value(), kIterations + 2 * (kIterations / 10));
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge gauge;
+  gauge.set(1.5);
+  gauge.set(-3.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -3.0);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(BucketLayout, LinearAndExponentialAreStable) {
+  const BucketLayout linear = BucketLayout::linear(1.0, 2.0, 4);
+  ASSERT_EQ(linear.upper_bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(linear.upper_bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(linear.upper_bounds[3], 7.0);
+
+  const BucketLayout expo = BucketLayout::exponential(1.0, 2.0, 5);
+  ASSERT_EQ(expo.upper_bounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(expo.upper_bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(expo.upper_bounds[4], 16.0);
+}
+
+TEST(Histogram, LeBucketSemantics) {
+  Histogram histogram(BucketLayout{{1.0, 2.0, 4.0}});
+  histogram.record(0.5);  // <= 1 -> bucket 0
+  histogram.record(1.0);  // boundary is inclusive -> bucket 0
+  histogram.record(1.5);  // bucket 1
+  histogram.record(4.0);  // bucket 2
+  histogram.record(9.0);  // overflow bucket
+  const auto counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 9.0);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 16.0);
+}
+
+TEST(Histogram, EmptyMinMaxAreZero) {
+  Histogram histogram(BucketLayout::linear(1.0, 1.0, 2));
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(Histogram(BucketLayout{{}}), std::invalid_argument);
+  EXPECT_THROW(Histogram(BucketLayout{{2.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(Histogram(BucketLayout{{1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossReset) {
+  auto& registry = MetricsRegistry::global();
+  Counter& counter = registry.counter("test.registry.stable");
+  counter.add(7);
+  EXPECT_EQ(counter.value(), 7u);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  // Same name resolves to the same instance.
+  registry.counter("test.registry.stable").add(3);
+  EXPECT_EQ(counter.value(), 3u);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  auto& registry = MetricsRegistry::global();
+  registry.counter("test.registry.mismatch");
+  EXPECT_THROW(registry.gauge("test.registry.mismatch"), std::logic_error);
+  EXPECT_THROW(
+      registry.histogram("test.registry.mismatch", BucketLayout::linear(1, 1, 2)),
+      std::logic_error);
+}
+
+TEST(MetricsRegistry, HistogramLayoutMismatchThrows) {
+  auto& registry = MetricsRegistry::global();
+  const BucketLayout layout = BucketLayout::linear(1.0, 1.0, 3);
+  registry.histogram("test.registry.layout", layout);
+  // Identical layout: fine, same instance.
+  EXPECT_NO_THROW(registry.histogram("test.registry.layout", layout));
+  EXPECT_THROW(registry.histogram("test.registry.layout",
+                                  BucketLayout::linear(1.0, 1.0, 4)),
+               std::logic_error);
+}
+
+TEST(MetricsRegistry, DeterministicSnapshotExcludesTimingMetrics) {
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  registry.counter("test.snapshot.plain").add(5);
+  registry.counter("test.snapshot.timing", /*timing=*/true).add(9);
+  registry
+      .histogram("test.snapshot.timing_hist", BucketLayout::linear(1, 1, 2),
+                 /*timing=*/true)
+      .record(1.0);
+
+  const std::string deterministic =
+      registry.snapshot(SnapshotKind::kDeterministic).to_json();
+  EXPECT_NE(deterministic.find("test.snapshot.plain"), std::string::npos);
+  EXPECT_EQ(deterministic.find("test.snapshot.timing"), std::string::npos);
+  // Histogram sums are floating-point accumulation order: excluded too.
+  EXPECT_EQ(deterministic.find("\"sum\""), std::string::npos);
+
+  const std::string full = registry.snapshot(SnapshotKind::kFull).to_json();
+  EXPECT_NE(full.find("test.snapshot.timing"), std::string::npos);
+  EXPECT_NE(full.find("test.snapshot.timing_hist"), std::string::npos);
+  EXPECT_NE(full.find("\"sum\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, SnapshotJsonIsByteStable) {
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  registry.counter("test.stable.one").add(11);
+  registry.gauge("test.stable.two").set(0.25);
+  registry.histogram("test.stable.three", BucketLayout::exponential(1, 2, 4))
+      .record(3.0);
+  const std::string a =
+      registry.snapshot(SnapshotKind::kDeterministic).to_json();
+  const std::string b =
+      registry.snapshot(SnapshotKind::kDeterministic).to_json();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(TraceScope, RecordsIntoAttachedSink) {
+  const std::string path = "test_metrics_trace.json";
+  {
+    TraceSink sink(path);
+    set_trace_sink(&sink);
+    {
+      TraceScope outer("test.outer");
+      TraceScope inner("test.inner");
+    }
+    set_trace_sink(nullptr);
+    EXPECT_EQ(sink.event_count(), 2u);
+    EXPECT_TRUE(sink.flush());
+  }
+  const std::string trace = read_file(path);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("test.outer"), std::string::npos);
+  EXPECT_NE(trace.find("test.inner"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceScope, TimingHistogramOnlyRecordsWhenEnabled) {
+  auto& registry = MetricsRegistry::global();
+  Histogram& histogram = registry.histogram(
+      "test.trace.timing", BucketLayout::exponential(1, 4, 6), /*timing=*/true);
+  histogram.reset();
+
+  set_timing_enabled(false);
+  { TraceScope span("test.trace.disabled", &histogram); }
+  EXPECT_EQ(histogram.count(), 0u);
+
+  set_timing_enabled(true);
+  { TraceScope span("test.trace.enabled", &histogram); }
+  set_timing_enabled(false);
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(Manifest, JsonContainsConfigPhasesAndMetrics) {
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  registry.counter("test.manifest.counter").add(4);
+
+  RunManifest manifest;
+  manifest.name = "unit";
+  manifest.seed = 17;
+  manifest.config.emplace_back("users", "60");
+  manifest.phase_seconds.emplace_back("train", 1.5);
+  manifest.total_seconds = 2.0;
+
+  const std::string json =
+      manifest_json(manifest, registry.snapshot(SnapshotKind::kFull));
+  EXPECT_NE(json.find("\"name\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"users\": \"60\""), std::string::npos);
+  EXPECT_NE(json.find("\"train\""), std::string::npos);
+  EXPECT_NE(json.find("test.manifest.counter"), std::string::npos);
+  EXPECT_NE(json.find("\"git\""), std::string::npos);
+}
+
+TEST(Manifest, WriteProducesParseableFile) {
+  const std::string path = "test_metrics_manifest.json";
+  RunManifest manifest;
+  manifest.name = "unit-write";
+  ASSERT_TRUE(write_manifest(path, manifest,
+                             MetricsRegistry::global().snapshot()));
+  const std::string written = read_file(path);
+  EXPECT_NE(written.find("\"unit-write\""), std::string::npos);
+  EXPECT_EQ(written.back(), '\n');
+  std::remove(path.c_str());
+}
+
+TEST(Json, EscapeAndNumberFormat) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json_number(2.0), "2.0");  // integral doubles keep a decimal point
+  EXPECT_EQ(json_number(0.5), "0.5");
+}
+
+TEST(ScopedTimer, AccumulatesAcrossScopes) {
+  double accumulator = 0.0;
+  { ScopedTimer timer(accumulator); }
+  const double after_first = accumulator;
+  EXPECT_GE(after_first, 0.0);
+  { ScopedTimer timer(accumulator); }
+  EXPECT_GE(accumulator, after_first);
+}
+
+TEST(Stopwatch, NowMicrosIsMonotonic) {
+  const std::uint64_t a = Stopwatch::now_micros();
+  const std::uint64_t b = Stopwatch::now_micros();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace tanglefl::obs

@@ -4,6 +4,7 @@
 
 #include "data/femnist_synth.hpp"
 #include "nn/model_zoo.hpp"
+#include "obs/metrics.hpp"
 
 namespace tanglefl::core {
 namespace {
@@ -99,6 +100,52 @@ TEST(Simulation, DeterministicAcrossThreadCounts) {
     EXPECT_EQ(to_hex(a.tangle().transaction(i).id),
               to_hex(b.tangle().transaction(i).id));
   }
+}
+
+TEST(Simulation, DeterministicMetricsSnapshot) {
+  // Two same-seed runs must produce byte-identical deterministic metric
+  // snapshots (the instrumentation layer's determinism contract), and the
+  // snapshot must also be independent of the thread count.
+  const auto dataset = small_dataset();
+  const auto snapshot_for = [&](std::size_t threads) {
+    obs::MetricsRegistry::global().reset();
+    SimulationConfig config = fast_config();
+    config.threads = threads;
+    TangleSimulation sim(dataset, small_factory(), config);
+    (void)sim.run();
+    return obs::MetricsRegistry::global()
+        .snapshot(obs::SnapshotKind::kDeterministic)
+        .to_json();
+  };
+  const std::string first = snapshot_for(1);
+  const std::string second = snapshot_for(1);
+  const std::string threaded = snapshot_for(4);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, threaded);
+  EXPECT_NE(first.find("sim.rounds"), std::string::npos);
+  EXPECT_NE(first.find("tangle.tip_walk.length"), std::string::npos);
+}
+
+TEST(Simulation, RoundRecordCarriesPublishCounts) {
+  // Regression for the run() loop dropping per-round publish counts: the
+  // cumulative published/suppressed tally and ledger size must reach the
+  // evaluation records.
+  const auto dataset = small_dataset();
+  SimulationConfig config = fast_config(4);
+  config.eval_every = 2;
+  TangleSimulation sim(dataset, small_factory(), config);
+  const RunResult result = sim.run();
+  ASSERT_EQ(result.history.size(), 2u);
+  const RoundRecord& mid = result.history.front();
+  const RoundRecord& last = result.history.back();
+  EXPECT_GT(last.published_cumulative, 0u);
+  EXPECT_GE(last.published_cumulative, mid.published_cumulative);
+  EXPECT_GE(last.suppressed_cumulative, mid.suppressed_cumulative);
+  // Every participant either published or was suppressed.
+  EXPECT_EQ(last.published_cumulative + last.suppressed_cumulative,
+            4u * config.nodes_per_round);
+  EXPECT_GT(last.ledger_bytes, 0u);
+  EXPECT_EQ(last.ledger_bytes % sizeof(float), 0u);
 }
 
 TEST(Simulation, SeedChangesOutcome) {

@@ -25,6 +25,12 @@ Rules (scoped to src/core and src/tangle unless noted):
                          its class is mutated in a function body that never
                          acquires a lock. Heuristic, but catches the "wrote
                          to the queue outside the lock" class of race.
+  banned-clock           (every linted file outside src/support) Direct
+                         std::chrono clock reads (*_clock::now()) are
+                         forbidden; go through Stopwatch /
+                         Stopwatch::now_micros() so all wall-clock access is
+                         confined to src/support and can never leak into
+                         deterministic simulation state.
 
 Suppress a finding with a trailing comment naming the rule:
     foo();  // lint:allow(unordered-iteration) reason...
@@ -56,6 +62,13 @@ BANNED_RANDOM = [
     (re.compile(r"\bstd::chrono::[a-z_]+_clock::now\b.*seed|seed.*\bstd::chrono::[a-z_]+_clock::now\b"),
      "wall-clock seeding is nondeterministic"),
 ]
+
+SUPPORT_DIR = os.path.join("src", "support")
+
+BANNED_CLOCK_RE = re.compile(
+    r"\b(?:std::chrono::\w+_clock|(?:steady|system|high_resolution)_clock)"
+    r"\s*::\s*now\s*\("
+)
 
 UNORDERED_DECL_RE = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+(\w+)\s*[;{=]"
@@ -117,6 +130,27 @@ def check_banned_random(path: str, lines: List[str]) -> List[Finding]:
         for pattern, why in BANNED_RANDOM:
             if pattern.search(code) and not is_suppressed(raw, "banned-random"):
                 findings.append(Finding(path, lineno, "banned-random", why))
+    return findings
+
+
+def check_banned_clock(path: str, lines: List[str]) -> List[Finding]:
+    if SUPPORT_DIR in os.path.normpath(path):
+        return []
+    findings = []
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        if BANNED_CLOCK_RE.search(code) and not is_suppressed(
+            raw, "banned-clock"
+        ):
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "banned-clock",
+                    "direct std::chrono clock read outside src/support; use "
+                    "Stopwatch / Stopwatch::now_micros() instead",
+                )
+            )
     return findings
 
 
@@ -252,6 +286,8 @@ def lint_file(path: str, header_cache: Dict[str, List[str]]) -> List[Finding]:
         return [Finding(path, 0, "io-error", str(err))]
 
     findings: List[Finding] = []
+
+    findings += check_banned_clock(path, lines)
 
     if in_determinism_scope(path):
         findings += check_banned_random(path, lines)
