@@ -14,6 +14,7 @@
 #include "tangle/model_store.hpp"
 #include "tangle/pow.hpp"
 #include "tangle/tip_selection.hpp"
+#include "tangle/view_cache.hpp"
 
 namespace {
 
@@ -85,6 +86,32 @@ void BM_RandomWalkTip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RandomWalkTip)->Arg(200)->Arg(1000);
+
+void BM_ViewCacheBuild(benchmark::State& state) {
+  // Cold fill: both cone passes plus the tip set and CSR approver snapshot.
+  // This is what one cache miss costs per view.
+  GrownTangle grown(static_cast<std::size_t>(state.range(0)));
+  const TangleView view = grown.tangle.view();
+  for (auto _ : state) {
+    auto entry = ViewCacheEntry::build(view);
+    benchmark::DoNotOptimize(entry.get());
+  }
+}
+BENCHMARK(BM_ViewCacheBuild)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_ViewCacheHit(benchmark::State& state) {
+  // Warm hit: key comparison plus a shared_ptr copy. The cold/warm ratio is
+  // the per-participant saving inside a round.
+  GrownTangle grown(static_cast<std::size_t>(state.range(0)));
+  const TangleView view = grown.tangle.view();
+  ViewCache cache(4);
+  (void)cache.get(view);  // prime
+  for (auto _ : state) {
+    auto entry = cache.get(view);
+    benchmark::DoNotOptimize(entry.get());
+  }
+}
+BENCHMARK(BM_ViewCacheHit)->Arg(200)->Arg(1000)->Arg(4000);
 
 void BM_ConfidenceSampling(benchmark::State& state) {
   GrownTangle grown(static_cast<std::size_t>(state.range(0)));

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "core/rng_streams.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
@@ -41,13 +42,6 @@ obs::Gauge& async_ledger_bytes_gauge() {
   return gauge;
 }
 
-constexpr std::uint64_t kGenesisStream = 0x6e51;
-constexpr std::uint64_t kMaliciousStream = 0x3a11;
-constexpr std::uint64_t kWakeStream = 0xa57c;
-constexpr std::uint64_t kNodeStream = 0x40de;
-constexpr std::uint64_t kEvalStream = 0xe7a1;
-constexpr std::uint64_t kLossStream = 0x105e;
-
 nn::ParamVector make_genesis_params(const nn::ModelFactory& factory,
                                     Rng rng) {
   nn::Model model = factory();
@@ -76,14 +70,14 @@ AsyncTangleSimulation::AsyncTangleSimulation(
       store_(),
       tangle_([&] {
         const auto added = store_.add(make_genesis_params(
-            factory_, master_rng_.split(kGenesisStream)));
+            factory_, master_rng_.split(streams::kGenesis)));
         return tangle::Tangle(added.id, added.hash);
       }()) {
   const std::size_t num_users = dataset_->num_users();
   const auto malicious_count = static_cast<std::size_t>(
       config_.malicious_fraction * static_cast<double>(num_users) + 0.5);
   if (malicious_count > 0 && config_.attack != AttackType::kNone) {
-    Rng rng = master_rng_.split(kMaliciousStream);
+    Rng rng = master_rng_.split(streams::kMalicious);
     malicious_users_ =
         rng.sample_without_replacement(num_users, malicious_count);
     std::sort(malicious_users_.begin(), malicious_users_.end());
@@ -107,7 +101,10 @@ RoundRecord AsyncTangleSimulation::evaluate(double now) {
   RoundRecord record;
   record.round = static_cast<std::uint64_t>(now);
   record.tangle_size = tangle_.size();
-  record.tip_count = tangle_.view().tips().size();
+  record.tip_count =
+      config_.use_view_cache
+          ? view_cache_.get(tangle_.view())->tips().size()
+          : tangle_.view().tips().size();
   record.published_cumulative = stats_.published;
   record.suppressed_cumulative = stats_.abstained + stats_.lost;
   record.ledger_bytes = store_.total_parameters() * sizeof(float);
@@ -118,15 +115,23 @@ RoundRecord AsyncTangleSimulation::evaluate(double now) {
       1, static_cast<std::size_t>(config_.eval_nodes_fraction *
                                   static_cast<double>(num_users) +
                                   0.5));
-  Rng eval_rng = master_rng_.split(kEvalStream).split(to_micros(now));
+  Rng eval_rng = master_rng_.split(streams::kEval).split(to_micros(now));
   const std::vector<std::size_t> users =
       eval_rng.sample_without_replacement(num_users, eval_users);
   const data::DataSplit pooled = dataset_->pooled_test(users);
   if (pooled.empty()) return record;
 
-  Rng reference_rng = master_rng_.split(kEvalStream).split(tangle_.size());
-  const ReferenceResult reference = choose_reference(
-      tangle_.view(), store_, reference_rng, config_.node.reference);
+  // kConsensus, not kEval: the reference walks used to share the kEval
+  // root with eval-user sampling above (see core/rng_streams.hpp).
+  Rng reference_rng =
+      master_rng_.split(streams::kConsensus).split(tangle_.size());
+  const tangle::TangleView view = tangle_.view();
+  const ReferenceResult reference =
+      config_.use_view_cache
+          ? choose_reference(view, store_, *view_cache_.get(view),
+                             reference_rng, config_.node.reference)
+          : choose_reference(view, store_, reference_rng,
+                             config_.node.reference);
   nn::Model model = factory_();
   model.set_parameters(reference.params);
   const data::EvalResult eval = data::evaluate(model, pooled);
@@ -159,12 +164,12 @@ RunResult AsyncTangleSimulation::run() {
       pending;
 
   const std::size_t num_users = dataset_->num_users();
-  Rng wake_rng = master_rng_.split(kWakeStream);
+  Rng wake_rng = master_rng_.split(streams::kWake);
   for (std::size_t u = 0; u < num_users; ++u) {
     Rng node_wake = wake_rng.split(u + 1);
     wakes.push({exponential(node_wake, config_.wake_rate_per_node), u});
   }
-  Rng loss_rng = master_rng_.split(kLossStream);
+  Rng loss_rng = master_rng_.split(streams::kLoss);
 
   RunResult result;
   result.label = "tangle-async";
@@ -211,10 +216,15 @@ RunResult AsyncTangleSimulation::run() {
     const bool malicious = config_.attack != AttackType::kNone &&
                            event.time >= config_.attack_start_seconds &&
                            is_malicious(event.user);
+    // Wakes clustered between publishes see identical prefixes, so the
+    // keyed cache turns their cone computations into hits.
+    const std::shared_ptr<const tangle::ViewCacheEntry> cones =
+        config_.use_view_cache ? view_cache_.get(view) : nullptr;
     NodeContext context{view, store_, factory_, to_micros(event.time),
-                        master_rng_.split(kNodeStream)
+                        master_rng_.split(streams::kNode)
                             .split(to_micros(event.time))
-                            .split(event.user + 1)};
+                            .split(event.user + 1),
+                        cones};
 
     std::optional<PublishRequest> publish;
     if (!malicious) {
@@ -237,7 +247,7 @@ RunResult AsyncTangleSimulation::run() {
       publish = node.step(context, dataset_->user(event.user));
     }
 
-    Rng timing_rng = context.rng.split(0x717e);
+    Rng timing_rng = context.rng.split(streams::kTiming);
     if (publish) {
       const double training =
           exponential(timing_rng, 1.0 / config_.mean_training_seconds);

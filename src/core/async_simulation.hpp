@@ -45,6 +45,11 @@ struct AsyncSimulationConfig {
   double eval_nodes_fraction = 0.1;
 
   std::uint64_t seed = 1;
+
+  // Reuse cone computations across wakeups that see the same ledger prefix
+  // (common when wakes cluster between publishes). Bit-identical results
+  // either way; see tangle/view_cache.hpp.
+  bool use_view_cache = true;
 };
 
 struct AsyncStats {
@@ -86,6 +91,9 @@ class AsyncTangleSimulation {
   tangle::ModelStore store_;
   tangle::Tangle tangle_;
   AsyncStats stats_;
+  // Keyed by prefix count: holds the latest wake horizons plus the full
+  // eval view.
+  tangle::ViewCache view_cache_{4};
 
   std::vector<std::size_t> malicious_users_;
   std::vector<data::UserData> poisoned_users_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "tangle/view_cache.hpp"
 
 namespace tanglefl::core {
 namespace {
@@ -50,16 +51,23 @@ double LocalLossCache::loss(const tangle::TangleView& view,
   return value;
 }
 
-tangle::TxIndex biased_random_walk_tip(
-    const tangle::TangleView& view,
-    std::span<const std::uint32_t> future_cones, LocalLossCache& cache,
-    Rng& rng, const BiasedWalkConfig& config) {
+namespace {
+
+/// Core biased walk; `approvers_of(index)` must yield in-view approvers in
+/// ascending order so the cached and direct paths consume the RNG
+/// identically (see tangle/tip_selection.cpp for the same pattern).
+template <typename ApproversFn>
+tangle::TxIndex biased_walk_to_tip(const tangle::TangleView& view,
+                                   std::span<const std::uint32_t> future_cones,
+                                   ApproversFn&& approvers_of,
+                                   LocalLossCache& cache, Rng& rng,
+                                   const BiasedWalkConfig& config) {
   biased_walk_counter().increment();
   tangle::TxIndex current = view.tangle().genesis();
   std::vector<double> weights;
   std::uint64_t steps = 0;
   for (;;) {
-    const std::vector<tangle::TxIndex> approvers = view.approvers(current);
+    const auto approvers = approvers_of(current);
     if (approvers.empty()) {
       biased_walk_length_histogram().record(static_cast<double>(steps));
       return current;
@@ -92,6 +100,28 @@ tangle::TxIndex biased_random_walk_tip(
   }
 }
 
+}  // namespace
+
+tangle::TxIndex biased_random_walk_tip(
+    const tangle::TangleView& view,
+    std::span<const std::uint32_t> future_cones, LocalLossCache& cache,
+    Rng& rng, const BiasedWalkConfig& config) {
+  return biased_walk_to_tip(
+      view, future_cones,
+      [&view](tangle::TxIndex i) { return view.approvers(i); }, cache, rng,
+      config);
+}
+
+tangle::TxIndex biased_random_walk_tip(const tangle::TangleView& view,
+                                       const tangle::ViewCacheEntry& cones,
+                                       LocalLossCache& cache, Rng& rng,
+                                       const BiasedWalkConfig& config) {
+  return biased_walk_to_tip(
+      view, cones.future_cone_sizes(),
+      [&cones](tangle::TxIndex i) { return cones.approvers(i); }, cache, rng,
+      config);
+}
+
 std::vector<tangle::TxIndex> biased_select_tips(
     const tangle::TangleView& view, std::size_t count, LocalLossCache& cache,
     Rng& rng, const BiasedWalkConfig& config) {
@@ -101,6 +131,18 @@ std::vector<tangle::TxIndex> biased_select_tips(
   for (std::size_t i = 0; i < count; ++i) {
     tips.push_back(
         biased_random_walk_tip(view, future_cones, cache, rng, config));
+  }
+  return tips;
+}
+
+std::vector<tangle::TxIndex> biased_select_tips(
+    const tangle::TangleView& view, const tangle::ViewCacheEntry& cones,
+    std::size_t count, LocalLossCache& cache, Rng& rng,
+    const BiasedWalkConfig& config) {
+  std::vector<tangle::TxIndex> tips;
+  tips.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tips.push_back(biased_random_walk_tip(view, cones, cache, rng, config));
   }
   return tips;
 }

@@ -60,9 +60,23 @@ tangle::TxIndex biased_random_walk_tip(
     std::span<const std::uint32_t> future_cones, LocalLossCache& cache,
     Rng& rng, const BiasedWalkConfig& config);
 
+/// Same walk over a shared cone cache entry (see tangle/view_cache.hpp);
+/// consumes the RNG identically to the direct overload. The view is still
+/// needed for loss lookups, which are keyed by transaction payload.
+tangle::TxIndex biased_random_walk_tip(const tangle::TangleView& view,
+                                       const tangle::ViewCacheEntry& cones,
+                                       LocalLossCache& cache, Rng& rng,
+                                       const BiasedWalkConfig& config);
+
 /// Runs `count` biased walks sharing one loss cache.
 std::vector<tangle::TxIndex> biased_select_tips(
     const tangle::TangleView& view, std::size_t count, LocalLossCache& cache,
     Rng& rng, const BiasedWalkConfig& config);
+
+/// Same, over a shared cone cache entry (no per-call cone recompute).
+std::vector<tangle::TxIndex> biased_select_tips(
+    const tangle::TangleView& view, const tangle::ViewCacheEntry& cones,
+    std::size_t count, LocalLossCache& cache, Rng& rng,
+    const BiasedWalkConfig& config);
 
 }  // namespace tanglefl::core

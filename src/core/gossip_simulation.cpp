@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/rng_streams.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
@@ -40,13 +41,6 @@ obs::Gauge& gossip_ledger_bytes_gauge() {
   return gauge;
 }
 
-constexpr std::uint64_t kGenesisStream = 0x6e51;
-constexpr std::uint64_t kTopologyStream = 0x70b0;
-constexpr std::uint64_t kParticipantStream = 0x9a57;
-constexpr std::uint64_t kNodeStream = 0x40de;
-constexpr std::uint64_t kEvalStream = 0xe7a1;
-constexpr std::uint64_t kPullStream = 0x9055;
-
 nn::ParamVector make_genesis_params(const nn::ModelFactory& factory,
                                     Rng rng) {
   nn::Model model = factory();
@@ -66,7 +60,7 @@ GossipSimulation::GossipSimulation(const data::FederatedDataset& dataset,
       store_(),
       tangle_([&] {
         const auto added = store_.add(make_genesis_params(
-            factory_, master_rng_.split(kGenesisStream)));
+            factory_, master_rng_.split(streams::kGenesis)));
         return tangle::Tangle(added.id, added.hash);
       }()) {
   const std::size_t num_users = dataset_->num_users();
@@ -75,7 +69,7 @@ GossipSimulation::GossipSimulation(const data::FederatedDataset& dataset,
   // Random pull topology: each node pulls from `peers_per_node` distinct
   // other nodes. (Directed; the union in/out degree keeps the graph
   // connected with high probability for fanout >= 2.)
-  Rng topology_rng = master_rng_.split(kTopologyStream);
+  Rng topology_rng = master_rng_.split(streams::kTopology);
   peers_.resize(num_users);
   const std::size_t fanout =
       std::min(config_.peers_per_node, num_users - 1);
@@ -130,7 +124,7 @@ std::size_t GossipSimulation::run_round(std::uint64_t round) {
   const std::size_t num_users = dataset_->num_users();
 
   // --- gossip phase -------------------------------------------------
-  Rng pull_rng = master_rng_.split(kPullStream).split(round);
+  Rng pull_rng = master_rng_.split(streams::kPull).split(round);
   for (std::size_t exchange = 0; exchange < config_.gossip_exchanges;
        ++exchange) {
     for (std::size_t u = 0; u < num_users; ++u) {
@@ -150,17 +144,22 @@ std::size_t GossipSimulation::run_round(std::uint64_t round) {
   // --- training phase ------------------------------------------------
   const std::size_t participants =
       std::min(config_.nodes_per_round, num_users);
-  Rng selection_rng = master_rng_.split(kParticipantStream).split(round);
+  Rng selection_rng = master_rng_.split(streams::kParticipant).split(round);
   const std::vector<std::size_t> chosen =
       selection_rng.sample_without_replacement(num_users, participants);
 
   std::size_t published = 0;
   for (const std::size_t user_index : chosen) {
     const tangle::TangleView view = replica_view(user_index);
+    // Participants whose replicas converged to the same membership share
+    // one cone computation through the keyed cache.
+    const std::shared_ptr<const tangle::ViewCacheEntry> cones =
+        config_.use_view_cache ? view_cache_.get(view) : nullptr;
     NodeContext context{view, store_, factory_, round,
-                        master_rng_.split(kNodeStream)
+                        master_rng_.split(streams::kNode)
                             .split(round)
-                            .split(user_index + 1)};
+                            .split(user_index + 1),
+                        cones};
     HonestNode node(config_.node);
     auto publish = node.step(context, dataset_->user(user_index));
     if (!publish) {
@@ -187,7 +186,10 @@ RoundRecord GossipSimulation::evaluate(std::uint64_t round) {
   RoundRecord record;
   record.round = round;
   record.tangle_size = tangle_.size();
-  record.tip_count = tangle_.view().tips().size();
+  record.tip_count =
+      config_.use_view_cache
+          ? view_cache_.get(tangle_.view())->tips().size()
+          : tangle_.view().tips().size();
   record.publish_rate = mean_coverage();  // repurposed: replica coverage
   record.published_cumulative = stats_.published;
   record.suppressed_cumulative = stats_.suppressed;
@@ -195,14 +197,18 @@ RoundRecord GossipSimulation::evaluate(std::uint64_t round) {
   gossip_ledger_bytes_gauge().set(static_cast<double>(record.ledger_bytes));
 
   const std::size_t num_users = dataset_->num_users();
-  Rng eval_rng = master_rng_.split(kEvalStream).split(round);
+  Rng eval_rng = master_rng_.split(streams::kEval).split(round);
 
   // A participant's perspective: consensus from one random replica.
   const std::size_t observer = eval_rng.uniform_index(num_users);
   const tangle::TangleView view = replica_view(observer);
   Rng reference_rng = eval_rng.split(1);
-  const ReferenceResult reference = choose_reference(
-      view, store_, reference_rng, config_.node.reference);
+  const ReferenceResult reference =
+      config_.use_view_cache
+          ? choose_reference(view, store_, *view_cache_.get(view),
+                             reference_rng, config_.node.reference)
+          : choose_reference(view, store_, reference_rng,
+                             config_.node.reference);
 
   const auto eval_users = std::max<std::size_t>(
       1, static_cast<std::size_t>(config_.eval_nodes_fraction *

@@ -41,6 +41,11 @@ struct GossipConfig {
   double eval_nodes_fraction = 0.1;
 
   std::uint64_t seed = 1;
+
+  // Share cone computations across participants whose replicas converged
+  // to the same membership (keyed by membership hash — see
+  // tangle/view_cache.hpp). Bit-identical results either way.
+  bool use_view_cache = true;
 };
 
 struct GossipStats {
@@ -91,6 +96,9 @@ class GossipSimulation {
 
   std::vector<std::vector<std::size_t>> peers_;  // outgoing pull targets
   std::vector<std::vector<bool>> known_;         // per node, by TxIndex
+  // Replicas diverge, so keep enough slots for every distinct membership a
+  // round's participants may hold (plus the observer's eval view).
+  tangle::ViewCache view_cache_{16};
 };
 
 /// Convenience wrapper mirroring run_tangle_learning.

@@ -1,6 +1,7 @@
 #include "core/node.hpp"
 
 #include "core/biased_walk.hpp"
+#include "core/rng_streams.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -91,17 +92,24 @@ std::vector<tangle::TxIndex> HonestNode::choose_parents(
   const std::size_t sample_size =
       std::max(num_tips, config_.tip_sample_size);
 
-  Rng walk_rng = context.rng.split(0x71b5);
+  Rng walk_rng = context.rng.split(streams::kWalk);
   std::vector<tangle::TxIndex> candidates;
   if (config_.use_biased_walk) {
     LocalLossCache cache(context.store, context.factory, validation);
     const BiasedWalkConfig walk_config{config_.tip_selection.alpha,
                                        config_.walk_loss_beta};
-    candidates = biased_select_tips(context.view, sample_size, cache,
-                                    walk_rng, walk_config);
+    candidates = context.cones
+                     ? biased_select_tips(context.view, *context.cones,
+                                          sample_size, cache, walk_rng,
+                                          walk_config)
+                     : biased_select_tips(context.view, sample_size, cache,
+                                          walk_rng, walk_config);
   } else {
-    candidates = tangle::select_tips(context.view, sample_size, walk_rng,
-                                     config_.tip_selection);
+    candidates = context.cones
+                     ? tangle::select_tips(*context.cones, sample_size,
+                                           walk_rng, config_.tip_selection)
+                     : tangle::select_tips(context.view, sample_size, walk_rng,
+                                           config_.tip_selection);
   }
 
   if (sample_size == num_tips || validation.empty()) {
@@ -152,11 +160,14 @@ std::optional<PublishRequest> HonestNode::step(NodeContext& context,
       user.test.empty() ? user.train : user.test;
 
   // w_r <- ChooseReferenceWeights(G)
-  Rng reference_rng = context.rng.split(0x3ef5);
+  Rng reference_rng = context.rng.split(streams::kReference);
   ReferenceResult reference = [&] {
     obs::TraceScope span("node.choose_reference", &reference_timing());
-    return choose_reference(context.view, context.store, reference_rng,
-                            config_.reference);
+    return context.cones
+               ? choose_reference(context.view, context.store, *context.cones,
+                                  reference_rng, config_.reference)
+               : choose_reference(context.view, context.store, reference_rng,
+                                  config_.reference);
   }();
 
   // (w_1, .., w_n) <- TipSelection(G); w_avg <- mean
@@ -175,7 +186,7 @@ std::optional<PublishRequest> HonestNode::step(NodeContext& context,
   // w_new <- Train(w_avg, epochs, lr)
   nn::Model model = context.factory();
   model.set_parameters(averaged);
-  Rng train_rng = context.rng.split(0x7a19);
+  Rng train_rng = context.rng.split(streams::kTrain);
   {
     obs::TraceScope span("node.train_local", &train_timing());
     data::train_local(model, user.train, config_.training, train_rng);
@@ -185,7 +196,7 @@ std::optional<PublishRequest> HonestNode::step(NodeContext& context,
   // broadcast, so sanitized/compressed payloads face the same gate.
   nn::ParamVector outgoing = model.get_parameters();
   if (config_.use_dp) {
-    Rng dp_rng = context.rng.split(0xd9a1);
+    Rng dp_rng = context.rng.split(streams::kDp);
     outgoing = nn::dp_sanitize(outgoing, averaged, config_.dp, dp_rng);
   }
   if (config_.quantize_payloads) {
@@ -214,14 +225,18 @@ std::optional<PublishRequest> RandomPoisonNode::step(
   (void)user;
   // Attach to tips chosen by the regular walk so the poison is picked up
   // by honest tip selection, then submit N(0,1) parameters.
-  Rng walk_rng = context.rng.split(0x71b5);
+  Rng walk_rng = context.rng.split(streams::kWalk);
+  const std::size_t tips = std::max<std::size_t>(1, config_.num_tips);
   std::vector<tangle::TxIndex> parents =
-      tangle::select_tips(context.view, std::max<std::size_t>(1, config_.num_tips),
-                          walk_rng, config_.tip_selection);
+      context.cones
+          ? tangle::select_tips(*context.cones, tips, walk_rng,
+                                config_.tip_selection)
+          : tangle::select_tips(context.view, tips, walk_rng,
+                                config_.tip_selection);
 
   nn::Model model = context.factory();
   nn::ParamVector params(model.parameter_count());
-  Rng noise_rng = context.rng.split(0xbad5);
+  Rng noise_rng = context.rng.split(streams::kPoisonNoise);
   for (auto& p : params) p = static_cast<float>(noise_rng.normal());
   return PublishRequest{std::move(parents), std::move(params)};
 }
@@ -232,10 +247,14 @@ std::optional<PublishRequest> BackdoorNode::step(
 
   // Blend in with regular tip selection so the poisoned branch looks like
   // any other.
-  Rng walk_rng = context.rng.split(0x71b5);
-  std::vector<tangle::TxIndex> parents = tangle::select_tips(
-      context.view, std::max<std::size_t>(1, config_.num_tips), walk_rng,
-      config_.tip_selection);
+  Rng walk_rng = context.rng.split(streams::kWalk);
+  const std::size_t tips = std::max<std::size_t>(1, config_.num_tips);
+  std::vector<tangle::TxIndex> parents =
+      context.cones
+          ? tangle::select_tips(*context.cones, tips, walk_rng,
+                                config_.tip_selection)
+          : tangle::select_tips(context.view, tips, walk_rng,
+                                config_.tip_selection);
   std::vector<const nn::ParamVector*> parent_params;
   parent_params.reserve(parents.size());
   for (const tangle::TxIndex p : parents) {
@@ -245,12 +264,12 @@ std::optional<PublishRequest> BackdoorNode::step(
   const nn::ParamVector base = nn::average_params(parent_params);
 
   // Train on the half-poisoned local dataset.
-  Rng poison_rng = context.rng.split(0xbd00);
+  Rng poison_rng = context.rng.split(streams::kBackdoorData);
   const data::DataSplit poisoned = data::make_backdoor_train_split(
       user.train, trigger_, poison_fraction_, poison_rng);
   nn::Model model = context.factory();
   model.set_parameters(base);
-  Rng train_rng = context.rng.split(0x7a19);
+  Rng train_rng = context.rng.split(streams::kTrain);
   data::train_local(model, poisoned, config_.training, train_rng);
 
   // Model replacement: boost the update so it dominates future averages,

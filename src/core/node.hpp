@@ -17,6 +17,7 @@
 #include "tangle/model_store.hpp"
 #include "tangle/tangle.hpp"
 #include "tangle/tip_selection.hpp"
+#include "tangle/view_cache.hpp"
 
 namespace tanglefl::core {
 
@@ -65,6 +66,10 @@ struct NodeContext {
   const nn::ModelFactory& factory;
   std::uint64_t round = 0;
   Rng rng;
+  // Shared per-view cone cache entry for `view` (see tangle/view_cache.hpp).
+  // Null means the node computes its own cones — results are bit-identical
+  // either way; the entry only removes redundant recomputation.
+  std::shared_ptr<const tangle::ViewCacheEntry> cones{};
 };
 
 class NodeBehavior {

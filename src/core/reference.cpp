@@ -4,16 +4,16 @@
 #include <cassert>
 #include <queue>
 
+#include "tangle/view_cache.hpp"
+
 namespace tanglefl::core {
+namespace {
 
-ReferenceResult choose_reference(const tangle::TangleView& view,
-                                 const tangle::ModelStore& store, Rng& rng,
-                                 const ReferenceConfig& config) {
-  assert(view.size() > 0);
-  const std::vector<double> confidences =
-      tangle::compute_confidences(view, rng, config.confidence);
-  const std::vector<double> ratings = tangle::compute_ratings(view);
-
+ReferenceResult choose_reference_impl(const tangle::TangleView& view,
+                                      const tangle::ModelStore& store,
+                                      std::vector<double> confidences,
+                                      std::vector<double> ratings,
+                                      const ReferenceConfig& config) {
   // Priority queue over confidence * rating, exactly as in Algorithm 1.
   // Ties (e.g. the all-zero priorities right after genesis) resolve to the
   // newest transaction so early rounds track fresh training results.
@@ -37,6 +37,28 @@ ReferenceResult choose_reference(const tangle::TangleView& view,
   }
   result.params = nn::average_params(payloads);
   return result;
+}
+
+}  // namespace
+
+ReferenceResult choose_reference(const tangle::TangleView& view,
+                                 const tangle::ModelStore& store, Rng& rng,
+                                 const ReferenceConfig& config) {
+  assert(view.size() > 0);
+  return choose_reference_impl(
+      view, store, tangle::compute_confidences(view, rng, config.confidence),
+      tangle::compute_ratings(view), config);
+}
+
+ReferenceResult choose_reference(const tangle::TangleView& view,
+                                 const tangle::ModelStore& store,
+                                 const tangle::ViewCacheEntry& cones, Rng& rng,
+                                 const ReferenceConfig& config) {
+  assert(view.size() > 0);
+  return choose_reference_impl(
+      view, store,
+      tangle::compute_confidences(view, cones, rng, config.confidence),
+      tangle::compute_ratings(cones), config);
 }
 
 }  // namespace tanglefl::core

@@ -33,4 +33,12 @@ ReferenceResult choose_reference(const tangle::TangleView& view,
                                  const tangle::ModelStore& store, Rng& rng,
                                  const ReferenceConfig& config);
 
+/// Same, scoring against a shared cone cache entry instead of recomputing
+/// the view's cones (see tangle/view_cache.hpp). Bit-identical to the
+/// direct overload for the same RNG state.
+ReferenceResult choose_reference(const tangle::TangleView& view,
+                                 const tangle::ModelStore& store,
+                                 const tangle::ViewCacheEntry& cones, Rng& rng,
+                                 const ReferenceConfig& config);
+
 }  // namespace tanglefl::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/rng_streams.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/log.hpp"
@@ -42,12 +43,6 @@ obs::Gauge& ledger_bytes_gauge() {
   return gauge;
 }
 
-constexpr std::uint64_t kParticipantStream = 0x9a57;
-constexpr std::uint64_t kNodeStream = 0x40de;
-constexpr std::uint64_t kEvalStream = 0xe7a1;
-constexpr std::uint64_t kGenesisStream = 0x6e51;
-constexpr std::uint64_t kMaliciousStream = 0x3a11;
-
 nn::ParamVector make_genesis_params(const nn::ModelFactory& factory,
                                     Rng rng) {
   nn::Model model = factory();
@@ -69,7 +64,7 @@ TangleSimulation::TangleSimulation(const data::FederatedDataset& dataset,
         // Genesis payload: a randomly initialized model every node starts
         // from.
         const auto added = store_.add(make_genesis_params(
-            factory_, master_rng_.split(kGenesisStream)));
+            factory_, master_rng_.split(streams::kGenesis)));
         return tangle::Tangle(added.id, added.hash);
       }()),
       pool_(std::max<std::size_t>(1, config.threads)) {
@@ -82,7 +77,7 @@ TangleSimulation::TangleSimulation(const data::FederatedDataset& dataset,
   const auto malicious_count = static_cast<std::size_t>(
       config_.malicious_fraction * static_cast<double>(num_users) + 0.5);
   if (malicious_count > 0 && config_.attack != AttackType::kNone) {
-    Rng rng = master_rng_.split(kMaliciousStream);
+    Rng rng = master_rng_.split(streams::kMalicious);
     malicious_users_ =
         rng.sample_without_replacement(num_users, malicious_count);
     std::sort(malicious_users_.begin(), malicious_users_.end());
@@ -113,12 +108,16 @@ std::size_t TangleSimulation::run_round(std::uint64_t round) {
   const std::size_t participants =
       std::min(config_.nodes_per_round, num_users);
 
-  Rng selection_rng = master_rng_.split(kParticipantStream).split(round);
+  Rng selection_rng = master_rng_.split(streams::kParticipant).split(round);
   const std::vector<std::size_t> chosen =
       selection_rng.sample_without_replacement(num_users, participants);
 
   const tangle::TangleView view =
       tangle_.view_prefix(tangle_.visible_count_for_round(round));
+  // One cone computation for the whole round, shared read-only by every
+  // participant, instead of one per node step.
+  const std::shared_ptr<const tangle::ViewCacheEntry> cones =
+      config_.use_view_cache ? view_cache_.get(view, &pool_) : nullptr;
   const bool attacking = attack_active(round);
 
   struct SlotResult {
@@ -133,9 +132,10 @@ std::size_t TangleSimulation::run_round(std::uint64_t round) {
     results[slot].malicious = malicious;
 
     NodeContext context{view, store_, factory_, round,
-                        master_rng_.split(kNodeStream)
+                        master_rng_.split(streams::kNode)
                             .split(round)
-                            .split(user_index + 1)};
+                            .split(user_index + 1),
+                        cones};
 
     if (!malicious) {
       HonestNode node(config_.node);
@@ -209,9 +209,16 @@ std::size_t TangleSimulation::run_round(std::uint64_t round) {
 }
 
 nn::ParamVector TangleSimulation::consensus_params() {
-  Rng rng = master_rng_.split(kEvalStream).split(tangle_.size());
-  const ReferenceResult reference = choose_reference(
-      tangle_.view(), store_, rng, config_.node.reference);
+  // kConsensus, not kEval: consensus walks and eval-user sampling used to
+  // share the kEval root, colliding whenever tangle_.size() == round (see
+  // core/rng_streams.hpp).
+  Rng rng = master_rng_.split(streams::kConsensus).split(tangle_.size());
+  const tangle::TangleView view = tangle_.view();
+  const ReferenceResult reference =
+      config_.use_view_cache
+          ? choose_reference(view, store_, *view_cache_.get(view, &pool_),
+                             rng, config_.node.reference)
+          : choose_reference(view, store_, rng, config_.node.reference);
   return reference.params;
 }
 
@@ -220,7 +227,10 @@ RoundRecord TangleSimulation::evaluate(std::uint64_t round) {
   RoundRecord record;
   record.round = round;
   record.tangle_size = tangle_.size();
-  record.tip_count = tangle_.view().tips().size();
+  record.tip_count =
+      config_.use_view_cache
+          ? view_cache_.get(tangle_.view(), &pool_)->tips().size()
+          : tangle_.view().tips().size();
   record.publish_rate = last_publish_rate_;
   record.published_cumulative = published_total_;
   record.suppressed_cumulative = suppressed_total_;
@@ -233,7 +243,7 @@ RoundRecord TangleSimulation::evaluate(std::uint64_t round) {
       1, static_cast<std::size_t>(config_.eval_nodes_fraction *
                                   static_cast<double>(num_users) +
                                   0.5));
-  Rng eval_rng = master_rng_.split(kEvalStream).split(round);
+  Rng eval_rng = master_rng_.split(streams::kEval).split(round);
   const std::vector<std::size_t> users =
       eval_rng.sample_without_replacement(num_users, eval_users);
   const data::DataSplit pooled = dataset_->pooled_test(users);

@@ -14,6 +14,7 @@
 #include "core/node.hpp"
 #include "data/poison.hpp"
 #include "support/thread_pool.hpp"
+#include "tangle/view_cache.hpp"
 
 namespace tanglefl::core {
 
@@ -47,6 +48,12 @@ struct SimulationConfig {
 
   std::uint64_t seed = 1;
   std::size_t threads = 1;  // worker threads for per-round node training
+
+  // Share one cone cache entry per round view across all participants
+  // instead of recomputing cumulative weights per node. Results are
+  // bit-identical either way; disable only to measure the redundant
+  // recompute cost (see tangle/view_cache.hpp).
+  bool use_view_cache = true;
 
   // Paper: "we set the number of sampling rounds for establishing the
   // consensus and for selecting the parent tips for training equal to the
@@ -92,6 +99,9 @@ class TangleSimulation {
   tangle::ModelStore store_;
   tangle::Tangle tangle_;
   ThreadPool pool_;
+  // Round views are strict prefixes that grow monotonically, so a couple
+  // of slots cover the live round view plus the full eval view.
+  tangle::ViewCache view_cache_{4};
 
   std::vector<std::size_t> malicious_users_;    // sorted user indices
   std::vector<data::UserData> poisoned_users_;  // parallel to malicious_users_

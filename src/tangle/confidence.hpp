@@ -18,8 +18,17 @@ struct ConfidenceConfig {
   TipSelectionConfig tip_selection;
 };
 
+class ViewCacheEntry;
+
 /// Per-transaction confidence over `view`, indexed by TxIndex.
 std::vector<double> compute_confidences(const TangleView& view, Rng& rng,
+                                        const ConfidenceConfig& config);
+
+/// Same, sampling walks over a shared cone cache entry instead of
+/// recomputing the view's future cones (see tangle/view_cache.hpp).
+/// Bit-identical to the direct overload for the same RNG state.
+std::vector<double> compute_confidences(const TangleView& view,
+                                        const ViewCacheEntry& cones, Rng& rng,
                                         const ConfidenceConfig& config);
 
 /// Per-transaction rating (Section III-A): the number of transactions each
@@ -27,5 +36,8 @@ std::vector<double> compute_confidences(const TangleView& view, Rng& rng,
 /// in different degrees depending on proof-of-work hardness; here all
 /// transactions contribute equally, matching the paper's prototype.
 std::vector<double> compute_ratings(const TangleView& view);
+
+/// Same, from a shared cone cache entry's past cones.
+std::vector<double> compute_ratings(const ViewCacheEntry& cones);
 
 }  // namespace tanglefl::tangle

@@ -212,6 +212,7 @@ Tangle::Tangle(PayloadId genesis_payload,
   genesis.id = compute_transaction_id({}, genesis.payload_hash, genesis.round,
                                       genesis.nonce);
   genesis.parents = {genesis.id};
+  index_by_id_.emplace(genesis.id, 0);
   transactions_.push_back(std::move(genesis));
   parent_indices_.push_back({0});
   approvers_.emplace_back();
@@ -249,6 +250,9 @@ TxIndex Tangle::add_transaction(std::span<const TxIndex> parents,
                                  tx.nonce);
 
   const TxIndex index = transactions_.size();
+  // emplace keeps the first index on an id collision, preserving find()'s
+  // historical first-match semantics.
+  index_by_id_.emplace(tx.id, index);
   transactions_.push_back(std::move(tx));
   parent_indices_.emplace_back(parents.begin(), parents.end());
   approvers_.emplace_back();
@@ -268,10 +272,9 @@ TxIndex Tangle::add_transaction(std::span<const TxIndex> parents,
 }
 
 std::optional<TxIndex> Tangle::find(const TransactionId& id) const {
-  for (TxIndex i = 0; i < transactions_.size(); ++i) {
-    if (transactions_[i].id == id) return i;
-  }
-  return std::nullopt;
+  const auto it = index_by_id_.find(id);
+  if (it == index_by_id_.end()) return std::nullopt;
+  return it->second;
 }
 
 TangleView Tangle::view_prefix(std::size_t count) const {
@@ -321,6 +324,11 @@ Tangle Tangle::deserialize(ByteReader& reader) {
         if (p >= i) throw SerializeError("tangle: parent after child");
         tangle.approvers_[p].push_back(i);
       }
+    }
+    // Ids are content hashes; seeing one twice means a corrupt or forged
+    // stream, not a legitimate ledger.
+    if (!tangle.index_by_id_.emplace(tx.id, static_cast<TxIndex>(i)).second) {
+      throw SerializeError("tangle: duplicate transaction id");
     }
     tangle.transactions_.push_back(std::move(tx));
     tangle.parent_indices_.push_back(std::move(parents));

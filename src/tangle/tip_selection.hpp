@@ -18,6 +18,8 @@
 
 namespace tanglefl::tangle {
 
+class ViewCacheEntry;
+
 enum class TipSelectionMethod {
   kWeightedWalk,  // MCMC walk biased by cumulative weight (IOTA default)
   kUniform,       // uniform random tip selection (URTS, [18] in the paper)
@@ -40,10 +42,23 @@ TxIndex random_walk_tip(const TangleView& view,
                         std::span<const std::uint32_t> future_cones, Rng& rng,
                         const TipSelectionConfig& config);
 
+/// Allocation-free walk over a prebuilt cone cache entry (see
+/// tangle/view_cache.hpp). Consumes the RNG identically to the TangleView
+/// overload, so cached and direct runs are bit-identical.
+TxIndex random_walk_tip(const ViewCacheEntry& cones, Rng& rng,
+                        const TipSelectionConfig& config);
+
 /// Runs `count` independent walks and returns the reached tips (duplicates
 /// possible — two walks may end at the same tip, and the paper allows the
-/// two chosen tips to coincide).
+/// two chosen tips to coincide). Under kUniform the tip set is scanned
+/// once per call, not once per draw.
 std::vector<TxIndex> select_tips(const TangleView& view, std::size_t count,
                                  Rng& rng, const TipSelectionConfig& config);
+
+/// Same, over a shared cone cache entry (no per-call cone recompute or tip
+/// scan).
+std::vector<TxIndex> select_tips(const ViewCacheEntry& cones,
+                                 std::size_t count, Rng& rng,
+                                 const TipSelectionConfig& config);
 
 }  // namespace tanglefl::tangle

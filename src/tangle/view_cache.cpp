@@ -1,0 +1,282 @@
+#include "tangle/view_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/thread_pool.hpp"
+
+namespace tanglefl::tangle {
+namespace {
+
+// Cache effectiveness counters. Deterministic: the sequence of get() calls
+// is fixed by (seed, config), never by scheduling.
+obs::Counter& hit_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("tangle.view_cache.hit");
+  return counter;
+}
+
+obs::Counter& miss_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("tangle.view_cache.miss");
+  return counter;
+}
+
+obs::Counter& eviction_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("tangle.view_cache.evictions");
+  return counter;
+}
+
+// An entry build performs one past- and one future-cone pass; it feeds the
+// same counter TangleView::{past,future}_cone_sizes() use, so the PR-2
+// metric keeps meaning "full cone recomputations" across both paths.
+obs::Counter& cone_recompute_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("tangle.cone_recompute.count");
+  return counter;
+}
+
+obs::Histogram& build_timing_histogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "tangle.view_cache.build_us", obs::BucketLayout::exponential(4.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
+}
+
+// Below this view size the parallel fill's fork/join overhead outweighs the
+// O(n^2/64) work; measured crossover is a few thousand transactions.
+constexpr std::size_t kParallelMinCount = 2048;
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Packs view membership into 64-bit words (LSB-first). Returns an empty
+/// vector for prefix(-equivalent) views, normalizing "mask covers the whole
+/// prefix" to the prefix identity.
+std::vector<std::uint64_t> pack_membership(const TangleView& view) {
+  if (view.member_count() == view.size()) return {};
+  const std::size_t words = (view.size() + 63) / 64;
+  std::vector<std::uint64_t> packed(words, 0);
+  for (TxIndex i = 0; i < view.size(); ++i) {
+    if (view.contains(i)) packed[i / 64] |= (1ULL << (i % 64));
+  }
+  return packed;
+}
+
+std::uint64_t hash_words(std::span<const std::uint64_t> words) {
+  std::uint64_t h = kFnvOffset;
+  for (const std::uint64_t w : words) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (w >> shift) & 0xff;
+      h *= kFnvPrime;
+    }
+  }
+  return h;
+}
+
+/// One word-column slice [word_begin, word_end) of the two reachability
+/// passes. `bits` is the shared row-major matrix; slices write disjoint
+/// words of every row, so concurrent slices never touch the same byte.
+/// Popcounts accumulate into the caller-provided partial vectors.
+struct ConeSlice {
+  const TangleView* view;
+  const std::vector<std::uint32_t>* offsets;  // CSR of in-view approvers
+  const std::vector<TxIndex>* edges;
+  std::uint64_t* bits;
+  std::size_t words;  // full row stride
+  std::size_t word_begin;
+  std::size_t word_end;
+  std::vector<std::uint32_t>* past_partial;
+  std::vector<std::uint32_t>* future_partial;
+
+  void set_bit(std::uint64_t* row, std::size_t bit) const {
+    const std::size_t word = bit / 64;
+    if (word >= word_begin && word < word_end) {
+      row[word] |= (1ULL << (bit % 64));
+    }
+  }
+
+  void or_row(std::uint64_t* dst, const std::uint64_t* src) const {
+    for (std::size_t w = word_begin; w < word_end; ++w) dst[w] |= src[w];
+  }
+
+  std::uint32_t popcount_row(const std::uint64_t* row) const {
+    std::uint32_t count = 0;
+    for (std::size_t w = word_begin; w < word_end; ++w) {
+      count += static_cast<std::uint32_t>(std::popcount(row[w]));
+    }
+    return count;
+  }
+
+  void zero_rows(std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t* row = bits + i * words;
+      std::fill(row + word_begin, row + word_end, 0);
+    }
+  }
+
+  void run() const {
+    const std::size_t n = view->size();
+    const Tangle& tangle = view->tangle();
+    // Past pass: parents precede children, so one ascending pass closes
+    // the transitive past relation (masked views are ancestor-closed).
+    for (TxIndex i = 1; i < n; ++i) {
+      if (!view->contains(i)) continue;
+      std::uint64_t* row = bits + i * words;
+      for (const TxIndex p : tangle.parent_indices(i)) {
+        assert(p < i);
+        set_bit(row, p);
+        or_row(row, bits + p * words);
+      }
+      (*past_partial)[i] = popcount_row(row);
+    }
+    // Future pass over the same buffer: zero this slice, then one
+    // descending pass over the in-view approver CSR.
+    zero_rows(n);
+    for (TxIndex ii = n; ii > 0; --ii) {
+      const TxIndex i = ii - 1;
+      if (!view->contains(i)) continue;
+      std::uint64_t* row = bits + i * words;
+      const std::uint32_t begin = (*offsets)[i];
+      const std::uint32_t end = (*offsets)[i + 1];
+      for (std::uint32_t e = begin; e < end; ++e) {
+        const TxIndex child = (*edges)[e];
+        set_bit(row, child);
+        or_row(row, bits + child * words);
+      }
+      (*future_partial)[i] = popcount_row(row);
+    }
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const ViewCacheEntry> ViewCacheEntry::build(
+    const TangleView& view, ThreadPool* pool) {
+  obs::TraceScope span("tangle.view_cache.build", &build_timing_histogram());
+  cone_recompute_counter().add(2);  // one past + one future pass
+
+  auto entry = std::shared_ptr<ViewCacheEntry>(new ViewCacheEntry());
+  const std::size_t n = view.size();
+  entry->count_ = n;
+  entry->past_.assign(n, 0);
+  entry->future_.assign(n, 0);
+
+  // CSR adjacency snapshot: approver lists are in insertion (ascending)
+  // order in the Tangle, so filtering preserves the exact sequence
+  // TangleView::approvers() produces.
+  const Tangle& tangle = view.tangle();
+  entry->offsets_.reserve(n + 1);
+  entry->offsets_.push_back(0);
+  for (TxIndex i = 0; i < n; ++i) {
+    if (view.contains(i)) {
+      for (const TxIndex a : tangle.approvers(i)) {
+        if (view.contains(a)) entry->edges_.push_back(a);
+      }
+    }
+    entry->offsets_.push_back(static_cast<std::uint32_t>(entry->edges_.size()));
+  }
+  for (TxIndex i = 0; i < n; ++i) {
+    if (view.contains(i) && entry->offsets_[i + 1] == entry->offsets_[i]) {
+      entry->tips_.push_back(i);
+    }
+  }
+  if (n <= 1) return entry;
+
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::uint64_t> bits(n * words, 0);
+
+  std::size_t slices = 1;
+  if (pool != nullptr && pool->thread_count() > 1 && n >= kParallelMinCount) {
+    slices = std::min(words, pool->thread_count());
+  }
+
+  if (slices == 1) {
+    ConeSlice slice{&view,        &entry->offsets_, &entry->edges_,
+                    bits.data(),  words,            0,
+                    words,        &entry->past_,    &entry->future_};
+    slice.run();
+  } else {
+    // Each slice owns a word range of every row plus its own partial
+    // popcount vectors; the reduction below is a plain integer sum, so the
+    // result is bit-identical to the serial fill for any slice count.
+    std::vector<std::vector<std::uint32_t>> past_partials(
+        slices, std::vector<std::uint32_t>(n, 0));
+    std::vector<std::vector<std::uint32_t>> future_partials(
+        slices, std::vector<std::uint32_t>(n, 0));
+    pool->parallel_for(slices, [&](std::size_t s) {
+      const std::size_t begin = words * s / slices;
+      const std::size_t end = words * (s + 1) / slices;
+      ConeSlice slice{&view,       &entry->offsets_,  &entry->edges_,
+                      bits.data(), words,             begin,
+                      end,         &past_partials[s], &future_partials[s]};
+      slice.run();
+    });
+    for (std::size_t s = 0; s < slices; ++s) {
+      for (TxIndex i = 0; i < n; ++i) {
+        entry->past_[i] += past_partials[s][i];
+        entry->future_[i] += future_partials[s][i];
+      }
+    }
+  }
+  return entry;
+}
+
+std::shared_ptr<const ViewCacheEntry> ViewCache::get(const TangleView& view,
+                                                     ThreadPool* pool) {
+  const std::vector<std::uint64_t> mask_words = pack_membership(view);
+  const std::uint64_t mask_hash =
+      mask_words.empty() ? 0 : hash_words(mask_words);
+
+  std::scoped_lock lock(mutex_);
+  // Defensive: a cache is bound to one Tangle instance; seeing another
+  // one (e.g. after a test reuses the cache) drops all entries.
+  if (tangle_ != &view.tangle()) {
+    tangle_ = &view.tangle();
+    slots_.clear();
+  }
+  ++tick_;
+  for (Slot& slot : slots_) {
+    if (slot.count == view.size() && slot.members == view.member_count() &&
+        slot.mask_hash == mask_hash && slot.mask_words == mask_words) {
+      slot.last_used = tick_;
+      hit_counter().increment();
+      return slot.entry;
+    }
+  }
+  miss_counter().increment();
+  Slot slot;
+  slot.count = view.size();
+  slot.members = view.member_count();
+  slot.mask_hash = mask_hash;
+  slot.mask_words = mask_words;
+  slot.entry = ViewCacheEntry::build(view, pool);
+  slot.last_used = tick_;
+  if (capacity_ > 0 && slots_.size() >= capacity_) {
+    const auto oldest = std::min_element(
+        slots_.begin(), slots_.end(), [](const Slot& a, const Slot& b) {
+          return a.last_used < b.last_used;
+        });
+    eviction_counter().increment();
+    *oldest = std::move(slot);
+    return oldest->entry;
+  }
+  slots_.push_back(std::move(slot));
+  return slots_.back().entry;
+}
+
+void ViewCache::clear() {
+  std::scoped_lock lock(mutex_);
+  slots_.clear();
+}
+
+std::size_t ViewCache::size() const {
+  std::scoped_lock lock(mutex_);
+  return slots_.size();
+}
+
+}  // namespace tanglefl::tangle

@@ -42,6 +42,28 @@ AsyncSimulationConfig fast_config() {
   return config;
 }
 
+TEST(AsyncSimulation, ViewCacheIsBitIdenticalToForcedRecompute) {
+  const auto dataset = small_dataset();
+  AsyncSimulationConfig cached = fast_config();
+  cached.use_view_cache = true;
+  AsyncSimulationConfig direct = fast_config();
+  direct.use_view_cache = false;
+  AsyncTangleSimulation a(dataset, small_factory(), cached);
+  AsyncTangleSimulation b(dataset, small_factory(), direct);
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  ASSERT_EQ(a.tangle().size(), b.tangle().size());
+  for (tangle::TxIndex i = 0; i < a.tangle().size(); ++i) {
+    EXPECT_EQ(to_hex(a.tangle().transaction(i).id),
+              to_hex(b.tangle().transaction(i).id));
+  }
+  ASSERT_EQ(ra.history.size(), rb.history.size());
+  for (std::size_t i = 0; i < ra.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.history[i].accuracy, rb.history[i].accuracy);
+    EXPECT_EQ(ra.history[i].tip_count, rb.history[i].tip_count);
+  }
+}
+
 TEST(AsyncSimulation, LedgerGrowsOverTime) {
   const auto dataset = small_dataset();
   AsyncTangleSimulation sim(dataset, small_factory(), fast_config());

@@ -102,6 +102,54 @@ TEST(Simulation, DeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(Simulation, ViewCacheIsBitIdenticalToForcedRecompute) {
+  // The cone cache must be a pure memoization: cache-enabled and
+  // forced-recompute runs of the same seed produce byte-identical ledgers
+  // and evaluation histories.
+  const auto dataset = small_dataset();
+  SimulationConfig cached = fast_config();
+  cached.use_view_cache = true;
+  SimulationConfig direct = fast_config();
+  direct.use_view_cache = false;
+  TangleSimulation a(dataset, small_factory(), cached);
+  TangleSimulation b(dataset, small_factory(), direct);
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  ASSERT_EQ(a.tangle().size(), b.tangle().size());
+  for (tangle::TxIndex i = 0; i < a.tangle().size(); ++i) {
+    EXPECT_EQ(to_hex(a.tangle().transaction(i).id),
+              to_hex(b.tangle().transaction(i).id));
+  }
+  ASSERT_EQ(ra.history.size(), rb.history.size());
+  for (std::size_t i = 0; i < ra.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.history[i].accuracy, rb.history[i].accuracy);
+    EXPECT_DOUBLE_EQ(ra.history[i].loss, rb.history[i].loss);
+    EXPECT_EQ(ra.history[i].tip_count, rb.history[i].tip_count);
+  }
+}
+
+TEST(Simulation, ViewCacheBoundsConeRecomputesPerRound) {
+  // The point of the shared cache: cone recomputations scale with rounds,
+  // not rounds x participants. One build (2 passes) per training round
+  // plus 2 per cached evaluation view, against ~3 per participant before.
+  const auto dataset = small_dataset();
+  obs::MetricsRegistry::global().reset();
+  SimulationConfig config = fast_config(4);
+  TangleSimulation sim(dataset, small_factory(), config);
+  (void)sim.run();
+  const std::uint64_t recomputes =
+      obs::MetricsRegistry::global()
+          .counter("tangle.cone_recompute.count")
+          .value();
+  const std::uint64_t evals = 2;  // rounds 2 and 4
+  EXPECT_LE(recomputes, 2 * (config.rounds + 2 * evals));
+  EXPECT_LT(recomputes, config.rounds * config.nodes_per_round);
+  EXPECT_GT(obs::MetricsRegistry::global()
+                .counter("tangle.view_cache.hit")
+                .value(),
+            0u);
+}
+
 TEST(Simulation, DeterministicMetricsSnapshot) {
   // Two same-seed runs must produce byte-identical deterministic metric
   // snapshots (the instrumentation layer's determinism contract), and the

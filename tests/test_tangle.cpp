@@ -99,6 +99,27 @@ TEST(Tangle, FindById) {
   EXPECT_FALSE(f.tangle.find(Sha256::hash("missing")).has_value());
 }
 
+TEST(Tangle, FindCoversEveryTransaction) {
+  Fixture f;
+  std::vector<TxIndex> added = {0};
+  for (int i = 0; i < 20; ++i) {
+    added.push_back(f.add({added.back()}, static_cast<float>(i), i + 1));
+  }
+  for (const TxIndex i : added) {
+    EXPECT_EQ(f.tangle.find(f.tangle.transaction(i).id), i);
+  }
+}
+
+TEST(Tangle, FindDuplicateIdReturnsFirstIndex) {
+  Fixture f;
+  // Identical parents, payload hash, round, and nonce hash to the same id.
+  const TxIndex a = f.add({0}, 1.0f, 1);
+  const TxIndex b = f.add({0}, 1.0f, 1);
+  ASSERT_EQ(to_hex(f.tangle.transaction(a).id),
+            to_hex(f.tangle.transaction(b).id));
+  EXPECT_EQ(f.tangle.find(f.tangle.transaction(b).id), a);
+}
+
 TEST(Tangle, VisibleCountForRound) {
   Fixture f;
   f.add({0}, 1.0f, 1);
@@ -222,6 +243,31 @@ TEST(Tangle, DeserializeRejectsForwardParent) {
   // parent list has one entry). Point it at itself (index 1).
   bytes[bytes.size() - 8] = 1;
   ByteReader reader(bytes);
+  EXPECT_THROW((void)Tangle::deserialize(reader), SerializeError);
+}
+
+TEST(Tangle, DeserializeRebuildsFindIndex) {
+  Fixture f;
+  const TxIndex a = f.add({0}, 1.0f, 1);
+  const TxIndex b = f.add({a}, 2.0f, 2);
+  ByteWriter writer;
+  f.tangle.serialize(writer);
+  ByteReader reader(writer.bytes());
+  const Tangle back = Tangle::deserialize(reader);
+  EXPECT_EQ(back.find(f.tangle.transaction(a).id), a);
+  EXPECT_EQ(back.find(f.tangle.transaction(b).id), b);
+  EXPECT_FALSE(back.find(Sha256::hash("missing")).has_value());
+}
+
+TEST(Tangle, DeserializeRejectsDuplicateId) {
+  Fixture f;
+  // Two identical header tuples produce the same content-hash id; a
+  // serialized stream carrying such a pair is corrupt or forged.
+  f.add({0}, 1.0f, 1);
+  f.add({0}, 1.0f, 1);
+  ByteWriter writer;
+  f.tangle.serialize(writer);
+  ByteReader reader(writer.bytes());
   EXPECT_THROW((void)Tangle::deserialize(reader), SerializeError);
 }
 
