@@ -21,6 +21,10 @@ int main(int argc, char** argv) {
       args.get_int("seed", 42, "master random seed"));
   const auto threads = static_cast<std::size_t>(
       args.get_int("threads", 1, "worker threads for per-round training"));
+  const auto kernel_threads = static_cast<std::size_t>(args.get_int(
+      "kernel-threads", 0,
+      "GEMM kernel pool size shared by the tangle runs (0 = serial; "
+      "results are bit-identical for any value)"));
   const std::string nodes_list = args.get_string(
       "nodes", "6,10,20",
       "comma-separated nodes-per-round settings (paper: 10,35,50)");
@@ -35,6 +39,7 @@ int main(int argc, char** argv) {
   run.config("users", users);
   run.config("eval_every", eval_every);
   run.config("threads", threads);
+  run.config("kernel_threads", kernel_threads);
   run.config("nodes", nodes_list);
   run.config("csv", csv);
 
@@ -89,6 +94,7 @@ int main(int argc, char** argv) {
     base.node.training = bench::femnist_training();
     base.seed = seed;
     base.threads = threads;
+    base.kernel_threads = kernel_threads;
 
     // Unoptimized: 2 tips, single consensus model (Section V-A, first trial).
     core::SimulationConfig plain = base;

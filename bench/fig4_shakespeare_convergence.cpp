@@ -20,6 +20,10 @@ int main(int argc, char** argv) {
       args.get_int("seed", 42, "master random seed"));
   const auto threads = static_cast<std::size_t>(
       args.get_int("threads", 1, "worker threads for per-round training"));
+  const auto kernel_threads = static_cast<std::size_t>(args.get_int(
+      "kernel-threads", 0,
+      "GEMM kernel pool size for the tangle run (0 = serial; results are "
+      "bit-identical for any value)"));
   const std::string csv = args.get_string(
       "csv", "fig4_shakespeare_convergence.csv", "output CSV path");
   bench::BenchRun run("fig4_shakespeare_convergence", args);
@@ -32,6 +36,7 @@ int main(int argc, char** argv) {
   run.config("nodes", nodes);
   run.config("eval_every", eval_every);
   run.config("threads", threads);
+  run.config("kernel_threads", kernel_threads);
   run.config("csv", csv);
 
   bench::ShakespeareScale scale;
@@ -69,6 +74,7 @@ int main(int argc, char** argv) {
   tangle_config.node.reference.num_reference_models = 1;
   tangle_config.seed = seed;
   tangle_config.threads = threads;
+  tangle_config.kernel_threads = kernel_threads;
   const core::RunResult tangle_run = [&] {
     auto timer = run.phase("tangle");
     return core::run_tangle_learning(dataset, factory, tangle_config,

@@ -189,7 +189,9 @@ std::optional<PublishRequest> HonestNode::step(NodeContext& context,
   Rng train_rng = context.rng.split(streams::kTrain);
   {
     obs::TraceScope span("node.train_local", &train_timing());
-    data::train_local(model, user.train, config_.training, train_rng);
+    data::TrainConfig training = config_.training;
+    training.kernel_pool = context.kernel_pool;
+    data::train_local(model, user.train, training, train_rng);
   }
 
   // Publishing-side transforms: the node validates exactly what it would
@@ -270,7 +272,9 @@ std::optional<PublishRequest> BackdoorNode::step(
   nn::Model model = context.factory();
   model.set_parameters(base);
   Rng train_rng = context.rng.split(streams::kTrain);
-  data::train_local(model, poisoned, config_.training, train_rng);
+  data::TrainConfig training = config_.training;
+  training.kernel_pool = context.kernel_pool;
+  data::train_local(model, poisoned, training, train_rng);
 
   // Model replacement: boost the update so it dominates future averages,
   // and publish unconditionally (the attacker ignores the validation gate).

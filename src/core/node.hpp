@@ -70,6 +70,10 @@ struct NodeContext {
   // Null means the node computes its own cones — results are bit-identical
   // either way; the entry only removes redundant recomputation.
   std::shared_ptr<const tangle::ViewCacheEntry> cones{};
+  // Optional intra-node pool for local-training kernels. Row-partitioned,
+  // so the published parameters are bit-identical for any pool size. Not
+  // owned; null trains serially.
+  ThreadPool* kernel_pool = nullptr;
 };
 
 class NodeBehavior {

@@ -67,7 +67,10 @@ TangleSimulation::TangleSimulation(const data::FederatedDataset& dataset,
             factory_, master_rng_.split(streams::kGenesis)));
         return tangle::Tangle(added.id, added.hash);
       }()),
-      pool_(std::max<std::size_t>(1, config.threads)) {
+      pool_(std::max<std::size_t>(1, config.threads)),
+      kernel_pool_(config.kernel_threads > 1
+                       ? std::make_unique<ThreadPool>(config.kernel_threads)
+                       : nullptr) {
   if (config_.auto_confidence_samples) {
     config_.node.reference.confidence.sample_rounds = config_.nodes_per_round;
   }
@@ -135,7 +138,7 @@ std::size_t TangleSimulation::run_round(std::uint64_t round) {
                         master_rng_.split(streams::kNode)
                             .split(round)
                             .split(user_index + 1),
-                        cones};
+                        cones, kernel_pool_.get()};
 
     if (!malicious) {
       HonestNode node(config_.node);

@@ -49,6 +49,12 @@ struct SimulationConfig {
   std::uint64_t seed = 1;
   std::size_t threads = 1;  // worker threads for per-round node training
 
+  // Worker threads for the intra-node NN kernels (GEMM/conv row
+  // partitioning). 0 or 1 runs kernels serially inside each node step —
+  // the right default when `threads` already saturates the machine.
+  // Results are bit-identical for any value.
+  std::size_t kernel_threads = 0;
+
   // Share one cone cache entry per round view across all participants
   // instead of recomputing cumulative weights per node. Results are
   // bit-identical either way; disable only to measure the redundant
@@ -99,6 +105,9 @@ class TangleSimulation {
   tangle::ModelStore store_;
   tangle::Tangle tangle_;
   ThreadPool pool_;
+  // Intra-node kernel pool, shared by all node steps (parallel_for is safe
+  // to call from concurrent node steps). Null when kernel_threads <= 1.
+  std::unique_ptr<ThreadPool> kernel_pool_;
   // Round views are strict prefixes that grow monotonically, so a couple
   // of slots cover the live round view plus the full eval view.
   tangle::ViewCache view_cache_{4};

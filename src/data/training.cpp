@@ -28,6 +28,7 @@ double train_local(nn::Model& model, const DataSplit& split,
   if (split.empty()) return 0.0;
   nn::SgdOptimizer sgd(config.sgd);
   nn::AdamOptimizer adam(config.adam);
+  model.set_kernel_pool(config.kernel_pool);
 
   double final_epoch_loss = 0.0;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
@@ -57,6 +58,8 @@ double train_local(nn::Model& model, const DataSplit& split,
     final_epoch_loss = batches > 0 ? epoch_loss / static_cast<double>(batches)
                                    : 0.0;
   }
+  // Clear the borrowed pool so the model never outlives it.
+  model.set_kernel_pool(nullptr);
   return final_epoch_loss;
 }
 

@@ -18,6 +18,10 @@ struct TrainConfig {
   nn::SgdConfig sgd;             // learning rate etc.
   bool use_adam = false;         // switch to Adam (lr from `adam`)
   nn::AdamConfig adam;
+  // Optional intra-node pool for the NN kernels. Row-partitioned, so the
+  // trained parameters are bit-identical for any pool size (including
+  // none). Not owned; must outlive the train_local call.
+  ThreadPool* kernel_pool = nullptr;
 };
 
 struct EvalResult {

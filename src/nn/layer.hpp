@@ -18,6 +18,13 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
+  /// Optional intra-node kernel pool used by this layer's GEMM calls. The
+  /// kernels partition output rows only, so results are bit-identical with
+  /// or without a pool; null (the default) runs every kernel serially. The
+  /// pool must outlive the layer's forward/backward calls — callers that
+  /// set it for a training run should clear it afterwards.
+  void set_kernel_pool(ThreadPool* pool) noexcept { kernel_pool_ = pool; }
+
   /// Computes the layer output. `training` enables train-only behaviour
   /// (dropout masks). The input is cached for backward().
   virtual Tensor forward(const Tensor& input, bool training) = 0;
@@ -38,6 +45,9 @@ class Layer {
 
   /// Deep copy including current parameter values.
   virtual std::unique_ptr<Layer> clone() const = 0;
+
+ protected:
+  ThreadPool* kernel_pool_ = nullptr;
 };
 
 /// Fully connected layer: y = x * W + b with x(batch, in), W(in, out).
@@ -113,6 +123,8 @@ class Conv2D final : public Layer {
   std::size_t in_channels_, out_channels_, kernel_, stride_, padding_;
   Tensor weight_, bias_, dweight_, dbias_;
   Tensor cached_input_;
+  // im2col scratch, reused across minibatches.
+  ops::Workspace workspace_;
 };
 
 /// Max pooling with a square window.
@@ -184,17 +196,26 @@ class LSTM final : public Layer {
   std::unique_ptr<Layer> clone() const override;
 
  private:
+  // Legacy per-timestep path, dispatched under ops::reference mode; shares
+  // the cache tensors with the fused path below.
+  Tensor forward_reference(const Tensor& input);
+  Tensor backward_reference(const Tensor& grad_output);
+  void ensure_cache_shapes(std::size_t batch, std::size_t seq);
+
   std::size_t input_dim_, hidden_dim_;
   Tensor w_input_;   // (input_dim, 4*hidden)
   Tensor w_hidden_;  // (hidden, 4*hidden)
   Tensor bias_;      // (4*hidden)
   Tensor dw_input_, dw_hidden_, dbias_;
 
-  // Per-forward caches for BPTT.
+  // Per-forward caches for BPTT, laid out as whole sequences so the fused
+  // path can GEMM over strided timestep views instead of copied slices.
   Tensor cached_input_;
-  std::vector<Tensor> gates_;   // per-t activated gates (batch, 4*hidden)
-  std::vector<Tensor> hidden_;  // h_t, t in [0, seq)
-  std::vector<Tensor> cell_;    // c_t
+  Tensor gates_;   // (batch, seq, 4*hidden) activated gates
+  Tensor hidden_;  // (batch, seq, hidden) h_t
+  Tensor cell_;    // (batch, seq, hidden) c_t
+  // Scratch for pre-activations / dgates, reused across minibatches.
+  ops::Workspace workspace_;
 };
 
 /// Selects the final timestep: (batch, seq, dim) -> (batch, dim).

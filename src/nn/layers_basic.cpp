@@ -31,24 +31,34 @@ Tensor Linear::forward(const Tensor& input, bool training) {
   assert(input.rank() == 2 && input.dim(1) == in_features_);
   cached_input_ = input;
   Tensor output({input.dim(0), out_features_});
-  ops::matmul(input, weight_, output);
+  ops::matmul(input, weight_, output, kernel_pool_);
   ops::add_row_bias(output, bias_);
   return output;
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
   assert(grad_output.rank() == 2 && grad_output.dim(1) == out_features_);
-  Tensor dw({in_features_, out_features_});
-  ops::matmul_trans_a(cached_input_, grad_output, dw);
-  dweight_.add(dw);
   const std::size_t batch = grad_output.dim(0);
+  if (ops::reference_kernels_enabled()) {
+    // Legacy two-step accumulation, kept as the baseline numerics.
+    Tensor dw({in_features_, out_features_});
+    ops::matmul_trans_a(cached_input_, grad_output, dw);
+    dweight_.add(dw);
+  } else {
+    // Accumulate straight into dweight_ — no per-batch temporary.
+    ops::gemm_trans_a(cached_input_.data(), in_features_, grad_output.data(),
+                      out_features_, dweight_.data(), out_features_, batch,
+                      in_features_, out_features_, ops::Accumulate::kAdd,
+                      kernel_pool_);
+  }
+  const float* pg = grad_output.data();
+  float* pdb = dbias_.data();
   for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t o = 0; o < out_features_; ++o) {
-      dbias_[o] += grad_output.at(b, o);
-    }
+    const float* row = pg + b * out_features_;
+    for (std::size_t o = 0; o < out_features_; ++o) pdb[o] += row[o];
   }
   Tensor dx({batch, in_features_});
-  ops::matmul_trans_b(grad_output, weight_, dx);
+  ops::matmul_trans_b(grad_output, weight_, dx, kernel_pool_);
   return dx;
 }
 

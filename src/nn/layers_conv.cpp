@@ -41,14 +41,15 @@ Tensor Conv2D::forward(const Tensor& input, bool training) {
   const auto shape = conv_shape();
   Tensor output({input.dim(0), out_channels_, shape.out_extent(input.dim(2)),
                  shape.out_extent(input.dim(3))});
-  ops::conv2d_forward(input, weight_, bias_, shape, output);
+  ops::conv2d_forward(input, weight_, bias_, shape, output, &workspace_,
+                      kernel_pool_);
   return output;
 }
 
 Tensor Conv2D::backward(const Tensor& grad_output) {
   Tensor dx(cached_input_.shape());
   ops::conv2d_backward(cached_input_, weight_, conv_shape(), grad_output, dx,
-                       dweight_, dbias_);
+                       dweight_, dbias_, &workspace_, kernel_pool_);
   return dx;
 }
 

@@ -57,6 +57,10 @@ Tensor Model::backward(const Tensor& grad_output) {
   return g;
 }
 
+void Model::set_kernel_pool(ThreadPool* pool) noexcept {
+  for (auto& layer : layers_) layer->set_kernel_pool(pool);
+}
+
 void Model::zero_gradients() {
   for (auto& layer : layers_) {
     for (Tensor* g : layer->gradients()) g->zero();

@@ -63,6 +63,12 @@ class Model {
   std::size_t layer_count() const noexcept { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }
 
+  /// Sets (or clears, with nullptr) the intra-node kernel pool on every
+  /// layer. Kernels partition output rows only, so results are bit-identical
+  /// for any pool size. The pool must outlive subsequent forward/backward
+  /// calls.
+  void set_kernel_pool(ThreadPool* pool) noexcept;
+
   /// Deep copy (architecture + current parameters).
   [[nodiscard]] Model clone() const;
 

@@ -2,20 +2,97 @@
 // softmax). Layers compose these; tests and micro-benchmarks exercise them
 // directly. All functions are pure with respect to their inputs and write
 // into caller-provided outputs where performance matters.
+//
+// Determinism contract: every kernel accumulates each output element in
+// strictly ascending reduction-index order, and the optional ThreadPool
+// argument partitions work over *output rows only*. Bits are therefore
+// identical for any pool size (including none) and match the serial result.
+// The pre-optimization naive loops live on in ops::reference for
+// equivalence tests and baseline benchmarks.
 #pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
 
 #include "nn/tensor.hpp"
 
+namespace tanglefl {
+class ThreadPool;
+}
+
 namespace tanglefl::nn::ops {
 
+/// Scratch arena for kernel workspaces (im2col buffers, fused-LSTM
+/// pre-activations). A layer owns one Workspace and reuses it across
+/// minibatches, so steady-state forward/backward passes allocate nothing.
+/// Storage is chunked: growing the arena never moves previously returned
+/// spans. Contents are unspecified after take(); reset() recycles all
+/// spans without releasing memory.
+class Workspace {
+ public:
+  /// Returns an uninitialized span of `count` floats, valid until reset().
+  std::span<float> take(std::size_t count);
+
+  /// Recycles every span handed out so far; capacity is retained.
+  void reset() noexcept;
+
+  /// Total floats currently reserved across all chunks.
+  std::size_t capacity() const noexcept;
+
+ private:
+  struct Chunk {
+    std::vector<float> data;
+    std::size_t used = 0;
+  };
+  std::vector<Chunk> chunks_;
+};
+
+/// Routes the dispatching entry points below (matmul family, conv2d) through
+/// the naive ops::reference loops instead of the blocked kernels. Global and
+/// sticky; intended for equivalence tests and baseline benchmarks only.
+void set_reference_kernels(bool enabled) noexcept;
+bool reference_kernels_enabled() noexcept;
+
+enum class Accumulate : bool { kOverwrite = false, kAdd = true };
+
+/// Raw strided GEMM kernels (row-major, explicit leading dimensions) — the
+/// single blocked kernel family everything else is built on. `pool`
+/// partitions output rows into fixed-size chunks; accumulation order per
+/// output element is ascending in the reduction index regardless of
+/// blocking or partitioning, so results are bit-identical for any pool.
+///
+/// C(m,n) = A(m,k) * B(k,n)           [kOverwrite], or C += ... [kAdd]
+void gemm(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+          float* c, std::size_t ldc, std::size_t m, std::size_t k,
+          std::size_t n, Accumulate accumulate = Accumulate::kOverwrite,
+          ThreadPool* pool = nullptr);
+
+/// C(k,n) = A(m,k)^T * B(m,n); reduction over m (ascending).
+void gemm_trans_a(const float* a, std::size_t lda, const float* b,
+                  std::size_t ldb, float* c, std::size_t ldc, std::size_t m,
+                  std::size_t k, std::size_t n,
+                  Accumulate accumulate = Accumulate::kOverwrite,
+                  ThreadPool* pool = nullptr);
+
+/// C(m,n) = A(m,k) * B(n,k)^T; row-dot-row, reduction over k (ascending).
+void gemm_trans_b(const float* a, std::size_t lda, const float* b,
+                  std::size_t ldb, float* c, std::size_t ldc, std::size_t m,
+                  std::size_t k, std::size_t n,
+                  Accumulate accumulate = Accumulate::kOverwrite,
+                  ThreadPool* pool = nullptr);
+
 /// C = A(m,k) * B(k,n). C must be preallocated to (m,n); it is overwritten.
-void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul(const Tensor& a, const Tensor& b, Tensor& c,
+            ThreadPool* pool = nullptr);
 
 /// C = A^T(m,k) * B(m,n) -> (k,n). Used for weight gradients.
-void matmul_trans_a(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_trans_a(const Tensor& a, const Tensor& b, Tensor& c,
+                    ThreadPool* pool = nullptr);
 
 /// C = A(m,k) * B^T(n,k) -> (m,n). Used for input gradients.
-void matmul_trans_b(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_trans_b(const Tensor& a, const Tensor& b, Tensor& c,
+                    ThreadPool* pool = nullptr);
 
 /// Adds bias(n) to every row of x(m,n) in place.
 void add_row_bias(Tensor& x, const Tensor& bias);
@@ -37,15 +114,21 @@ struct Conv2DShape {
 };
 
 /// y(b, oc, oh, ow) = conv(x(b, ic, h, w), w(oc, ic, k, k)) + bias(oc).
-/// y must be preallocated; it is overwritten.
+/// y must be preallocated; it is overwritten. Implemented as per-sample
+/// im2col (patch axis packed in (c, ky, kx) order) + GEMM. `workspace`
+/// holds the column buffer; when null a per-thread arena is used. The
+/// arena is reset() on entry, so callers must not hold spans across calls.
 void conv2d_forward(const Tensor& x, const Tensor& weights, const Tensor& bias,
-                    const Conv2DShape& shape, Tensor& y);
+                    const Conv2DShape& shape, Tensor& y,
+                    Workspace* workspace = nullptr, ThreadPool* pool = nullptr);
 
 /// Backward pass: given dy, accumulates into dw / dbias (must be
 /// pre-zeroed by the caller or accumulated deliberately) and overwrites dx.
+/// GEMM-based: dw via dy x col^T, dx via W^T x dy + col2im.
 void conv2d_backward(const Tensor& x, const Tensor& weights,
                      const Conv2DShape& shape, const Tensor& dy, Tensor& dx,
-                     Tensor& dw, Tensor& dbias);
+                     Tensor& dw, Tensor& dbias, Workspace* workspace = nullptr,
+                     ThreadPool* pool = nullptr);
 
 /// 2x2-style max pooling with a square window and equal stride. `argmax`
 /// records the flat input index of each output maximum for the backward
@@ -56,5 +139,21 @@ void maxpool2d_forward(const Tensor& x, std::size_t window, std::size_t stride,
 /// Scatters dy back through the recorded argmax indices; dx is overwritten.
 void maxpool2d_backward(const Tensor& dy, const std::vector<std::size_t>& argmax,
                         Tensor& dx);
+
+/// The pre-optimization scalar loops, kept verbatim as the equivalence and
+/// benchmark baseline. Never call these from layers directly — use the
+/// dispatching entry points above with set_reference_kernels(true).
+namespace reference {
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_trans_a(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_trans_b(const Tensor& a, const Tensor& b, Tensor& c);
+void conv2d_forward(const Tensor& x, const Tensor& weights, const Tensor& bias,
+                    const Conv2DShape& shape, Tensor& y);
+void conv2d_backward(const Tensor& x, const Tensor& weights,
+                     const Conv2DShape& shape, const Tensor& dy, Tensor& dx,
+                     Tensor& dw, Tensor& dbias);
+
+}  // namespace reference
 
 }  // namespace tanglefl::nn::ops

@@ -1,0 +1,152 @@
+// The pre-optimization naive kernels, kept verbatim as ops::reference.
+// They define the numerics the blocked kernels in ops.cpp are diffed
+// against (tests/test_ops_kernels.cpp) and the baseline the micro
+// benchmarks measure speedups over. Do not "optimize" this file.
+#include <cassert>
+#include <cstddef>
+
+#include "nn/ops.hpp"
+
+namespace tanglefl::nn::ops::reference {
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_trans_a(const Tensor& a, const Tensor& b, Tensor& c) {
+  assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  assert(b.dim(0) == m && c.dim(0) == k && c.dim(1) == n);
+  c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      float* crow = pc + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_trans_b(const Tensor& a, const Tensor& b, Tensor& c) {
+  assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  assert(b.dim(1) == k && c.dim(0) == m && c.dim(1) == n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[i * n + j] = acc;
+    }
+  }
+}
+
+void conv2d_forward(const Tensor& x, const Tensor& weights, const Tensor& bias,
+                    const Conv2DShape& shape, Tensor& y) {
+  assert(x.rank() == 4 && weights.rank() == 4 && y.rank() == 4);
+  const std::size_t batch = x.dim(0);
+  const std::size_t ic = shape.in_channels, oc = shape.out_channels;
+  const std::size_t h = x.dim(2), w = x.dim(3);
+  const std::size_t k = shape.kernel, stride = shape.stride, pad = shape.padding;
+  const std::size_t oh = shape.out_extent(h), ow = shape.out_extent(w);
+  assert(x.dim(1) == ic && weights.dim(0) == oc && weights.dim(1) == ic);
+  assert(y.dim(0) == batch && y.dim(1) == oc && y.dim(2) == oh && y.dim(3) == ow);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < oc; ++o) {
+      const float bo = bias[o];
+      for (std::size_t yy = 0; yy < oh; ++yy) {
+        for (std::size_t xx = 0; xx < ow; ++xx) {
+          float acc = bo;
+          for (std::size_t c = 0; c < ic; ++c) {
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const std::ptrdiff_t in_y =
+                  static_cast<std::ptrdiff_t>(yy * stride + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (in_y < 0 || in_y >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::ptrdiff_t in_x =
+                    static_cast<std::ptrdiff_t>(xx * stride + kx) -
+                    static_cast<std::ptrdiff_t>(pad);
+                if (in_x < 0 || in_x >= static_cast<std::ptrdiff_t>(w)) continue;
+                acc += x.at(b, c, static_cast<std::size_t>(in_y),
+                            static_cast<std::size_t>(in_x)) *
+                       weights.at(o, c, ky, kx);
+              }
+            }
+          }
+          y.at(b, o, yy, xx) = acc;
+        }
+      }
+    }
+  }
+}
+
+void conv2d_backward(const Tensor& x, const Tensor& weights,
+                     const Conv2DShape& shape, const Tensor& dy, Tensor& dx,
+                     Tensor& dw, Tensor& dbias) {
+  const std::size_t batch = x.dim(0);
+  const std::size_t ic = shape.in_channels, oc = shape.out_channels;
+  const std::size_t h = x.dim(2), w = x.dim(3);
+  const std::size_t k = shape.kernel, stride = shape.stride, pad = shape.padding;
+  const std::size_t oh = shape.out_extent(h), ow = shape.out_extent(w);
+  dx.zero();
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < oc; ++o) {
+      for (std::size_t yy = 0; yy < oh; ++yy) {
+        for (std::size_t xx = 0; xx < ow; ++xx) {
+          const float g = dy.at(b, o, yy, xx);
+          if (g == 0.0f) continue;
+          dbias[o] += g;
+          for (std::size_t c = 0; c < ic; ++c) {
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const std::ptrdiff_t in_y =
+                  static_cast<std::ptrdiff_t>(yy * stride + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (in_y < 0 || in_y >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::ptrdiff_t in_x =
+                    static_cast<std::ptrdiff_t>(xx * stride + kx) -
+                    static_cast<std::ptrdiff_t>(pad);
+                if (in_x < 0 || in_x >= static_cast<std::ptrdiff_t>(w)) continue;
+                const auto iy = static_cast<std::size_t>(in_y);
+                const auto ix = static_cast<std::size_t>(in_x);
+                dw.at(o, c, ky, kx) += g * x.at(b, c, iy, ix);
+                dx.at(b, c, iy, ix) += g * weights.at(o, c, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tanglefl::nn::ops::reference

@@ -18,6 +18,23 @@ ParamVector average_params(std::span<const ParamVector* const> params) {
     throw std::invalid_argument("average_params: no inputs");
   }
   const std::size_t n = params.front()->size();
+  if (params.size() == 2) {
+    // Two parents is the paper's default (num_tips = 2) and dominates the
+    // simulation hot path, so skip the double accumulator vector. 0.5 is
+    // exact in binary, hence (a + b) * 0.5 in double is bit-identical to
+    // the generic accumulate-then-scale path.
+    const ParamVector& a = *params[0];
+    const ParamVector& b = *params[1];
+    if (b.size() != n) {
+      throw std::invalid_argument("average_params: size mismatch");
+    }
+    ParamVector out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<float>(
+          (static_cast<double>(a[i]) + static_cast<double>(b[i])) * 0.5);
+    }
+    return out;
+  }
   std::vector<double> acc(n, 0.0);
   for (const ParamVector* p : params) {
     if (p->size() != n) {

@@ -102,6 +102,28 @@ TEST(Simulation, DeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(Simulation, DeterministicAcrossKernelPoolSizes) {
+  // The intra-node GEMM pool partitions output rows only, so node training
+  // — and therefore the whole ledger — must be bit-identical whether the
+  // kernels run serially or on a shared pool, including concurrently with
+  // multi-threaded node dispatch.
+  const auto dataset = small_dataset();
+  SimulationConfig serial = fast_config();
+  serial.kernel_threads = 0;
+  SimulationConfig pooled = fast_config();
+  pooled.threads = 2;
+  pooled.kernel_threads = 2;
+  TangleSimulation a(dataset, small_factory(), serial);
+  TangleSimulation b(dataset, small_factory(), pooled);
+  (void)a.run();
+  (void)b.run();
+  ASSERT_EQ(a.tangle().size(), b.tangle().size());
+  for (tangle::TxIndex i = 0; i < a.tangle().size(); ++i) {
+    EXPECT_EQ(to_hex(a.tangle().transaction(i).id),
+              to_hex(b.tangle().transaction(i).id));
+  }
+}
+
 TEST(Simulation, ViewCacheIsBitIdenticalToForcedRecompute) {
   // The cone cache must be a pure memoization: cache-enabled and
   // forced-recompute runs of the same seed produce byte-identical ledgers

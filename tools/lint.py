@@ -31,6 +31,11 @@ Rules (scoped to src/core and src/tangle unless noted):
                          Stopwatch::now_micros() so all wall-clock access is
                          confined to src/support and can never leak into
                          deterministic simulation state.
+  ops-allocation         (src/nn/ops.cpp only) raw `new`, `malloc`, and
+                         Tensor construction are forbidden in the kernel
+                         translation unit: kernels run per minibatch, so
+                         scratch must come from an ops::Workspace (reused
+                         arena), never a fresh heap allocation.
 
 Suppress a finding with a trailing comment naming the rule:
     foo();  // lint:allow(unordered-iteration) reason...
@@ -64,6 +69,21 @@ BANNED_RANDOM = [
 ]
 
 SUPPORT_DIR = os.path.join("src", "support")
+
+# The kernel translation unit: all scratch must come through ops::Workspace.
+OPS_FILE = os.path.join("src", "nn", "ops.cpp")
+
+OPS_ALLOCATION = [
+    (re.compile(r"(?<![\w:])new\b"), "raw new in kernel code"),
+    (re.compile(r"(?<![\w:])(?:malloc|calloc|realloc)\s*\("),
+     "malloc-family allocation in kernel code"),
+    # Tensor construction: `Tensor t(...)`, `Tensor t{...}`, `Tensor(...)`.
+    # Deliberately does not match `const Tensor&` / `Tensor&` / `Tensor*`
+    # parameter declarations.
+    (re.compile(r"\bTensor\s+\w+\s*[({]|\bTensor\s*[({]"),
+     "Tensor construction in kernel code; take scratch from an "
+     "ops::Workspace instead"),
+]
 
 BANNED_CLOCK_RE = re.compile(
     r"\b(?:std::chrono::\w+_clock|(?:steady|system|high_resolution)_clock)"
@@ -151,6 +171,22 @@ def check_banned_clock(path: str, lines: List[str]) -> List[Finding]:
                     "Stopwatch / Stopwatch::now_micros() instead",
                 )
             )
+    return findings
+
+
+def check_ops_allocation(path: str, lines: List[str]) -> List[Finding]:
+    if os.path.normpath(path) != OPS_FILE and not os.path.normpath(
+        path
+    ).endswith(os.sep + OPS_FILE):
+        return []
+    findings = []
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        for pattern, why in OPS_ALLOCATION:
+            if pattern.search(code) and not is_suppressed(
+                raw, "ops-allocation"
+            ):
+                findings.append(Finding(path, lineno, "ops-allocation", why))
     return findings
 
 
@@ -288,6 +324,7 @@ def lint_file(path: str, header_cache: Dict[str, List[str]]) -> List[Finding]:
     findings: List[Finding] = []
 
     findings += check_banned_clock(path, lines)
+    findings += check_ops_allocation(path, lines)
 
     if in_determinism_scope(path):
         findings += check_banned_random(path, lines)
