@@ -18,6 +18,10 @@ int main(int argc, char** argv) {
       args.get_int("nodes", 10, "active nodes per round (reference)"));
   const auto seed = static_cast<std::uint64_t>(
       args.get_int("seed", 42, "master random seed"));
+  const bool eval_cache =
+      args.get_int("eval-cache", 1,
+                   "cache loss probes across wakeups (0 = off; outputs are "
+                   "byte-identical either way)") != 0;
   const std::string csv =
       args.get_string("csv", "ablation_async.csv", "output CSV path");
   bench::BenchRun bench_run("ablation_async", args);
@@ -28,6 +32,7 @@ int main(int argc, char** argv) {
   bench_run.config("users", users);
   bench_run.config("rounds", rounds);
   bench_run.config("nodes", nodes);
+  bench_run.config("eval_cache", eval_cache);
   bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
@@ -53,6 +58,7 @@ int main(int argc, char** argv) {
   round_config.eval_nodes_fraction = 0.3;
   round_config.node = node;
   round_config.seed = seed;
+  round_config.use_eval_cache = eval_cache;
   const core::RunResult round_run = [&] {
     auto timer = bench_run.phase("round-based");
     return core::run_tangle_learning(dataset, factory, round_config,
@@ -101,6 +107,7 @@ int main(int argc, char** argv) {
     config.eval_nodes_fraction = 0.3;
     config.node = node;
     config.seed = seed;
+    config.use_eval_cache = eval_cache;
 
     core::AsyncTangleSimulation simulation(dataset, factory, config);
     core::RunResult run = [&] {

@@ -17,6 +17,10 @@ int main(int argc, char** argv) {
       args.get_int("nodes", 10, "active nodes per round"));
   const auto seed = static_cast<std::uint64_t>(
       args.get_int("seed", 42, "master random seed"));
+  const bool eval_cache =
+      args.get_int("eval-cache", 1,
+                   "cache loss probes across rounds (0 = off; outputs are "
+                   "byte-identical either way)") != 0;
   const std::string csv =
       args.get_string("csv", "ablation_gossip.csv", "output CSV path");
   bench::BenchRun bench_run("ablation_gossip", args);
@@ -27,6 +31,7 @@ int main(int argc, char** argv) {
   bench_run.config("rounds", rounds);
   bench_run.config("users", users);
   bench_run.config("nodes", nodes);
+  bench_run.config("eval_cache", eval_cache);
   bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
@@ -53,6 +58,7 @@ int main(int argc, char** argv) {
   reference_config.eval_nodes_fraction = 0.3;
   reference_config.node = node;
   reference_config.seed = seed;
+  reference_config.use_eval_cache = eval_cache;
   const core::RunResult reference = [&] {
     auto timer = bench_run.phase("full-replication");
     return core::run_tangle_learning(dataset, factory, reference_config,
@@ -93,6 +99,7 @@ int main(int argc, char** argv) {
     config.eval_nodes_fraction = 0.3;
     config.node = node;
     config.seed = seed;
+    config.use_eval_cache = eval_cache;
 
     core::GossipSimulation simulation(dataset, factory, config);
     core::RunResult run = [&] {

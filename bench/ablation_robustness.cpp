@@ -25,6 +25,10 @@ int main(int argc, char** argv) {
       args.get_int("seed", 42, "master random seed"));
   const auto threads = static_cast<std::size_t>(
       args.get_int("threads", 1, "worker threads"));
+  const bool eval_cache =
+      args.get_int("eval-cache", 1,
+                   "cache loss probes across rounds (0 = off; outputs are "
+                   "byte-identical either way)") != 0;
   const std::string csv =
       args.get_string("csv", "ablation_robustness.csv", "output CSV path");
   bench::BenchRun bench_run("ablation_robustness", args);
@@ -38,6 +42,7 @@ int main(int argc, char** argv) {
   bench_run.config("nodes", nodes);
   bench_run.config("fraction", fraction);
   bench_run.config("threads", threads);
+  bench_run.config("eval_cache", eval_cache);
   bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
@@ -78,6 +83,7 @@ int main(int argc, char** argv) {
       config.attack_start_round = pretrain + 1;
       config.seed = seed;
       config.threads = threads;
+      config.use_eval_cache = eval_cache;
 
       const core::RunResult run = [&] {
         auto timer = bench_run.phase("alpha-sweep");

@@ -23,6 +23,15 @@ int main(int argc, char** argv) {
       args.get_int("seed", 42, "master random seed"));
   const auto threads = static_cast<std::size_t>(
       args.get_int("threads", 1, "worker threads"));
+  const bool eval_cache =
+      args.get_int("eval-cache", 1,
+                   "cache loss probes across rounds (0 = off; outputs are "
+                   "byte-identical either way)") != 0;
+  const bool biased_walk =
+      args.get_int("biased-walk", 0,
+                   "walk-loss-biased tip selection (the Section III "
+                   "personalisation variant; evaluates interior payloads "
+                   "at every branch step)") != 0;
   const std::string fractions_list = args.get_string(
       "fractions", "0.1,0.2,0.25,0.3", "malicious fractions to test");
   const std::string csv =
@@ -37,6 +46,8 @@ int main(int argc, char** argv) {
   bench_run.config("users", users);
   bench_run.config("nodes", nodes);
   bench_run.config("threads", threads);
+  bench_run.config("eval_cache", eval_cache);
+  bench_run.config("biased_walk", biased_walk);
   bench_run.config("fractions", fractions_list);
   bench_run.config("csv", csv);
 
@@ -71,12 +82,14 @@ int main(int argc, char** argv) {
     // tip walks = active nodes per round.
     config.node.num_tips = 2;
     config.node.tip_sample_size = nodes;
+    config.node.use_biased_walk = biased_walk;
     config.node.reference.num_reference_models = 10;
     config.attack = core::AttackType::kRandomPoison;
     config.malicious_fraction = p;
     config.attack_start_round = pretrain + 1;
     config.seed = seed;
     config.threads = threads;
+    config.use_eval_cache = eval_cache;
 
     core::RunResult run = [&] {
       auto timer = bench_run.phase("p=" + format_fixed(p, 2));

@@ -28,6 +28,10 @@ int main(int argc, char** argv) {
       args.get_int("seed", 42, "master random seed"));
   const auto threads = static_cast<std::size_t>(
       args.get_int("threads", 1, "worker threads"));
+  const bool eval_cache =
+      args.get_int("eval-cache", 1,
+                   "cache loss probes across rounds (0 = off; outputs are "
+                   "byte-identical either way)") != 0;
   const std::string fractions_list =
       args.get_string("fractions", "0.1,0.2,0.3", "malicious fractions");
   const std::string csv =
@@ -44,6 +48,7 @@ int main(int argc, char** argv) {
   bench_run.config("source_class", static_cast<std::int64_t>(source));
   bench_run.config("target_class", static_cast<std::int64_t>(target));
   bench_run.config("threads", threads);
+  bench_run.config("eval_cache", eval_cache);
   bench_run.config("fractions", fractions_list);
   bench_run.config("csv", csv);
 
@@ -82,6 +87,7 @@ int main(int argc, char** argv) {
     config.attack_start_round = pretrain + 1;
     config.seed = seed;
     config.threads = threads;
+    config.use_eval_cache = eval_cache;
 
     core::RunResult run = [&] {
       auto timer = bench_run.phase("p=" + format_fixed(p, 2));

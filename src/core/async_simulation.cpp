@@ -72,7 +72,8 @@ AsyncTangleSimulation::AsyncTangleSimulation(
         const auto added = store_.add(make_genesis_params(
             factory_, master_rng_.split(streams::kGenesis)));
         return tangle::Tangle(added.id, added.hash);
-      }()) {
+      }()),
+      eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}) {
   const std::size_t num_users = dataset_->num_users();
   const auto malicious_count = static_cast<std::size_t>(
       config_.malicious_fraction * static_cast<double>(num_users) + 0.5);
@@ -132,13 +133,22 @@ RoundRecord AsyncTangleSimulation::evaluate(double now) {
                              reference_rng, config_.node.reference)
           : choose_reference(view, store_, reference_rng,
                              config_.node.reference);
-  nn::Model model = factory_();
-  model.set_parameters(reference.params);
-  const data::EvalResult eval = data::evaluate(model, pooled);
+  // Engine-backed consensus eval: pooled model instance, pre-batched
+  // split, and a result cached by the reference payload list.
+  const std::shared_ptr<const BatchedSplit> prepared =
+      eval_engine_.prepare(pooled);
+  EvalEngine::ModelLease lease = eval_engine_.acquire();
+  lease.model().set_parameters(reference.params);
+  const data::EvalResult eval =
+      eval_engine_
+          .evaluate_cached(ParamsKey{reference.payloads}, lease.model(),
+                           *prepared)
+          .result;
   record.accuracy = eval.accuracy;
   record.loss = eval.loss;
   record.target_misclassification = data::targeted_misclassification_rate(
-      model, pooled, config_.flip.source_class, config_.flip.target_class);
+      lease.model(), pooled, config_.flip.source_class,
+      config_.flip.target_class);
   return record;
 }
 
@@ -224,7 +234,7 @@ RunResult AsyncTangleSimulation::run() {
                         master_rng_.split(streams::kNode)
                             .split(to_micros(event.time))
                             .split(event.user + 1),
-                        cones};
+                        cones, nullptr, &eval_engine_};
 
     std::optional<PublishRequest> publish;
     if (!malicious) {

@@ -50,6 +50,10 @@ struct AsyncSimulationConfig {
   // (common when wakes cluster between publishes). Bit-identical results
   // either way; see tangle/view_cache.hpp.
   bool use_view_cache = true;
+
+  // Cache loss-probe results across probes and wakeups in the shared eval
+  // engine; byte-identical outputs either way (core/eval_engine.hpp).
+  bool use_eval_cache = true;
 };
 
 struct AsyncStats {
@@ -94,6 +98,8 @@ class AsyncTangleSimulation {
   // Keyed by prefix count: holds the latest wake horizons plus the full
   // eval view.
   tangle::ViewCache view_cache_{4};
+  // Shared loss-probe engine (cache + model pool + pre-batched splits).
+  EvalEngine eval_engine_;
 
   std::vector<std::size_t> malicious_users_;
   std::vector<data::UserData> poisoned_users_;

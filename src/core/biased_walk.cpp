@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/eval_engine.hpp"
 #include "obs/metrics.hpp"
 #include "tangle/view_cache.hpp"
 
@@ -37,7 +38,18 @@ double LocalLossCache::loss(const tangle::TangleView& view,
     return it->second;
   }
   double value = 0.0;
-  if (validation_->empty()) {
+  if (engine_ != nullptr) {
+    if (batched_ != nullptr) {
+      const EvalOutcome outcome = engine_->payload_eval(
+          *store_, view.tangle().transaction(index).payload, *batched_);
+      value = outcome.result.loss;
+      if (!outcome.cache_hit) {
+        ++evaluations_;
+        walk_loss_eval_counter().increment();
+      }
+    }
+    // else: no data to bias with; degenerate to structural walk
+  } else if (validation_->empty()) {
     value = 0.0;  // no data to bias with; degenerate to structural walk
   } else {
     nn::Model model = (*factory_)();

@@ -17,6 +17,7 @@
 // transaction is evaluated at most once regardless of walk count.
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
 #include "data/dataset.hpp"
@@ -28,23 +29,41 @@
 
 namespace tanglefl::core {
 
+class BatchedSplit;
+class EvalEngine;
+
 /// Memoized evaluation of transaction payloads on one validation split.
+/// The per-step memo (keyed by transaction) bounds walk-bias probes to one
+/// per transaction regardless of walk count; with an eval engine attached
+/// the probe itself also hits the engine's cross-round payload cache.
 class LocalLossCache {
  public:
+  /// Legacy mode: a throwaway model instance per distinct transaction.
   LocalLossCache(const tangle::ModelStore& store,
                  const nn::ModelFactory& factory,
                  const data::DataSplit& validation)
       : store_(&store), factory_(&factory), validation_(&validation) {}
 
+  /// Engine mode: probes go through `engine`'s payload cache and model
+  /// pool. A null `batched` (empty validation) degenerates to the
+  /// structural walk, as in legacy mode.
+  LocalLossCache(EvalEngine& engine, const tangle::ModelStore& store,
+                 std::shared_ptr<const BatchedSplit> batched)
+      : store_(&store), engine_(&engine), batched_(std::move(batched)) {}
+
   /// Loss of `index`'s payload on the validation split (cached).
   double loss(const tangle::TangleView& view, tangle::TxIndex index);
 
+  /// Forward evaluations this cache instance paid for (engine cache hits
+  /// are free and not counted).
   std::size_t evaluations() const noexcept { return evaluations_; }
 
  private:
   const tangle::ModelStore* store_;
-  const nn::ModelFactory* factory_;
-  const data::DataSplit* validation_;
+  const nn::ModelFactory* factory_ = nullptr;
+  const data::DataSplit* validation_ = nullptr;
+  EvalEngine* engine_ = nullptr;
+  std::shared_ptr<const BatchedSplit> batched_;
   std::unordered_map<tangle::TxIndex, double> cache_;
   std::size_t evaluations_ = 0;
 };

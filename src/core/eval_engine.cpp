@@ -1,0 +1,338 @@
+#include "core/eval_engine.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tanglefl::core {
+namespace {
+
+obs::Counter& cache_hit_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("eval.cache.hit");
+  return counter;
+}
+
+obs::Counter& cache_miss_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("eval.cache.miss");
+  return counter;
+}
+
+obs::Counter& forward_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("eval.forwards");
+  return counter;
+}
+
+obs::Counter& example_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("eval.examples");
+  return counter;
+}
+
+obs::Counter& split_reuse_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("eval.split.reused");
+  return counter;
+}
+
+obs::Counter& split_build_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("eval.split.built");
+  return counter;
+}
+
+obs::Histogram& eval_us_histogram() {
+  static obs::Histogram& histogram = obs::MetricsRegistry::global().histogram(
+      "eval.us", obs::BucketLayout::exponential(1.0, 2.0, 24),
+      /*timing=*/true);
+  return histogram;
+}
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t state) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    state ^= p[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+std::uint64_t fnv1a_reverse(const void* data, std::size_t bytes,
+                            std::uint64_t state) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = bytes; i > 0; --i) {
+    state ^= p[i - 1];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  // SplitMix64 finalizer.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// 128-bit content identity of a split: two independent byte passes
+/// (forward and reverse order, distinct bases) over features then labels.
+/// Used as an exact key; a collision would alias cache entries, so the
+/// combined 128 bits + sample count keep that probability negligible.
+SplitKey split_key_of(const data::DataSplit& split) {
+  const std::span<const float> features = split.features.values();
+  const std::size_t feature_bytes = features.size() * sizeof(float);
+  const std::size_t label_bytes = split.labels.size() * sizeof(std::int32_t);
+
+  SplitKey key;
+  key.samples = split.size();
+  key.lo = fnv1a(features.data(), feature_bytes, kFnvBasis);
+  key.lo = fnv1a(split.labels.data(), label_bytes, key.lo);
+  std::uint64_t hi = fnv1a_reverse(split.labels.data(), label_bytes,
+                                   kFnvBasis ^ 0x9e3779b97f4a7c15ull);
+  hi = fnv1a_reverse(features.data(), feature_bytes, hi);
+  key.hi = mix64(hi);
+  return key;
+}
+
+}  // namespace
+
+BatchedSplit::BatchedSplit(const data::DataSplit& split,
+                           std::size_t batch_size, SplitKey key)
+    : key_(key), samples_(split.size()) {
+  assert(batch_size > 0);
+  features_.reserve((samples_ + batch_size - 1) / batch_size);
+  labels_.reserve(features_.capacity());
+  // Batch boundaries replicate data::evaluate exactly: [start, start+count)
+  // for start = 0, batch_size, 2*batch_size, ...
+  for (std::size_t start = 0; start < samples_; start += batch_size) {
+    const std::size_t count = std::min(batch_size, samples_ - start);
+    data::DataSplit batch = split.slice(start, count);
+    bytes_ += batch.features.size() * sizeof(float) +
+              batch.labels.size() * sizeof(std::int32_t);
+    features_.push_back(std::move(batch.features));
+    labels_.push_back(std::move(batch.labels));
+  }
+}
+
+EvalEngine::EvalEngine(nn::ModelFactory factory, EvalEngineConfig config)
+    : factory_(std::move(factory)),
+      config_(config),
+      shards_(std::make_unique<Shard[]>(kShards)) {
+  assert(factory_);
+  assert(config_.batch_size > 0);
+}
+
+EvalEngine::ModelLease::~ModelLease() {
+  if (engine_ != nullptr) engine_->release(std::move(model_));
+}
+
+EvalEngine::ModelLease EvalEngine::acquire() {
+  std::unique_ptr<nn::Model> model;
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_.empty()) {
+      model = std::move(pool_.back());
+      pool_.pop_back();
+    } else {
+      ++models_created_;
+    }
+  }
+  // Factory runs outside the lock; the slot was already accounted for.
+  if (model == nullptr) model = std::make_unique<nn::Model>(factory_());
+  return ModelLease(this, std::move(model));
+}
+
+void EvalEngine::release(std::unique_ptr<nn::Model> model) {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  pool_.push_back(std::move(model));
+}
+
+std::shared_ptr<const BatchedSplit> EvalEngine::prepare(
+    const data::DataSplit& split) {
+  assert(!split.empty());
+  const SplitKey key = split_key_of(split);
+  if (config_.use_cache) {
+    const std::lock_guard<std::mutex> lock(split_mutex_);
+    for (SplitSlot& slot : splits_) {
+      if (slot.batched->key() == key) {
+        slot.last_used = ++split_tick_;
+        split_reuse_counter().increment();
+        return slot.batched;
+      }
+    }
+  }
+  split_build_counter().increment();
+  auto batched =
+      std::make_shared<const BatchedSplit>(split, config_.batch_size, key);
+  if (!config_.use_cache) return batched;
+
+  const std::lock_guard<std::mutex> lock(split_mutex_);
+  // Another thread may have inserted the same contents while we gathered;
+  // prefer the resident copy so probes share one instance.
+  for (SplitSlot& slot : splits_) {
+    if (slot.batched->key() == key) {
+      slot.last_used = ++split_tick_;
+      return slot.batched;
+    }
+  }
+  splits_.push_back(SplitSlot{batched, ++split_tick_});
+  split_bytes_ += batched->bytes();
+  // Evict least-recently-used entries over budget, always keeping the
+  // newest (linear scan over a small vector — no unordered iteration).
+  while (split_bytes_ > config_.batched_budget_bytes && splits_.size() > 1) {
+    std::size_t oldest = 0;
+    for (std::size_t i = 1; i < splits_.size(); ++i) {
+      if (splits_[i].last_used < splits_[oldest].last_used) oldest = i;
+    }
+    split_bytes_ -= splits_[oldest].batched->bytes();
+    splits_.erase(splits_.begin() + static_cast<std::ptrdiff_t>(oldest));
+  }
+  return batched;
+}
+
+data::EvalResult EvalEngine::evaluate(nn::Model& model,
+                                      const BatchedSplit& batched) {
+  obs::TraceScope span("eval.forward", &eval_us_histogram());
+  data::EvalResult result;
+  if (batched.samples() == 0) return result;
+
+  // Accumulation order matches data::evaluate bit-for-bit: per-batch mean
+  // loss scaled by the batch count, summed in double over batches in order.
+  double loss_sum = 0.0;
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < batched.batch_count(); ++b) {
+    const nn::Tensor logits =
+        model.forward(batched.features(b), /*training=*/false);
+    const std::span<const std::int32_t> labels = batched.labels(b);
+    loss_sum +=
+        static_cast<double>(nn::softmax_cross_entropy_loss(logits, labels)) *
+        static_cast<double>(labels.size());
+    for (std::size_t row = 0; row < labels.size(); ++row) {
+      if (logits.argmax_row(row) == static_cast<std::size_t>(labels[row])) {
+        ++correct;
+      }
+    }
+    forward_counter().increment();
+    example_counter().add(labels.size());
+  }
+  result.samples = batched.samples();
+  result.loss = loss_sum / static_cast<double>(batched.samples());
+  result.accuracy =
+      static_cast<double>(correct) / static_cast<double>(batched.samples());
+  return result;
+}
+
+EvalOutcome EvalEngine::evaluate_cached(const ParamsKey& key, nn::Model& model,
+                                        const BatchedSplit& batched) {
+  const ResultKey result_key{key, batched.key()};
+  data::EvalResult cached;
+  if (lookup(result_key, cached)) {
+    cache_hit_counter().increment();
+    return EvalOutcome{cached, true};
+  }
+  cache_miss_counter().increment();
+  const data::EvalResult result = evaluate(model, batched);
+  insert(result_key, result);
+  return EvalOutcome{result, false};
+}
+
+EvalOutcome EvalEngine::payload_eval(const tangle::ModelStore& store,
+                                     tangle::PayloadId payload,
+                                     const BatchedSplit& batched) {
+  const ResultKey result_key{ParamsKey::single(payload), batched.key()};
+  data::EvalResult cached;
+  if (lookup(result_key, cached)) {
+    cache_hit_counter().increment();
+    return EvalOutcome{cached, true};
+  }
+  cache_miss_counter().increment();
+  ModelLease lease = acquire();
+  lease.model().set_parameters(store.get(payload));
+  const data::EvalResult result = evaluate(lease.model(), batched);
+  insert(result_key, result);
+  return EvalOutcome{result, false};
+}
+
+EvalOutcome EvalEngine::params_eval(const ParamsKey& key,
+                                    std::span<const float> params,
+                                    const BatchedSplit& batched) {
+  const ResultKey result_key{key, batched.key()};
+  data::EvalResult cached;
+  if (lookup(result_key, cached)) {
+    cache_hit_counter().increment();
+    return EvalOutcome{cached, true};
+  }
+  cache_miss_counter().increment();
+  ModelLease lease = acquire();
+  lease.model().set_parameters(params);
+  const data::EvalResult result = evaluate(lease.model(), batched);
+  insert(result_key, result);
+  return EvalOutcome{result, false};
+}
+
+std::size_t EvalEngine::ResultKeyHash::operator()(
+    const ResultKey& key) const noexcept {
+  std::uint64_t state = kFnvBasis;
+  state = fnv1a(key.params.payloads.data(),
+                key.params.payloads.size() * sizeof(tangle::PayloadId), state);
+  state = fnv1a(&key.split, sizeof(SplitKey), state);
+  return static_cast<std::size_t>(mix64(state));
+}
+
+EvalEngine::Shard& EvalEngine::shard_for(const ResultKey& key) const {
+  return shards_[ResultKeyHash{}(key) % kShards];
+}
+
+bool EvalEngine::lookup(const ResultKey& key, data::EvalResult& out) const {
+  if (!config_.use_cache) return false;
+  Shard& shard = shard_for(key);
+  const std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  const auto it = shard.results.find(key);
+  if (it == shard.results.end()) return false;
+  out = it->second;
+  return true;
+}
+
+void EvalEngine::insert(const ResultKey& key, const data::EvalResult& result) {
+  if (!config_.use_cache) return;
+  Shard& shard = shard_for(key);
+  const std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  shard.results.emplace(key, result);
+}
+
+std::size_t EvalEngine::models_created() const {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  return models_created_;
+}
+
+std::size_t EvalEngine::pool_size() const {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  return pool_.size();
+}
+
+std::size_t EvalEngine::cached_results() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    const std::shared_lock<std::shared_mutex> lock(shards_[i].mutex);
+    total += shards_[i].results.size();
+  }
+  return total;
+}
+
+std::size_t EvalEngine::cached_splits() const {
+  const std::lock_guard<std::mutex> lock(split_mutex_);
+  return splits_.size();
+}
+
+}  // namespace tanglefl::core

@@ -62,7 +62,8 @@ GossipSimulation::GossipSimulation(const data::FederatedDataset& dataset,
         const auto added = store_.add(make_genesis_params(
             factory_, master_rng_.split(streams::kGenesis)));
         return tangle::Tangle(added.id, added.hash);
-      }()) {
+      }()),
+      eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}) {
   const std::size_t num_users = dataset_->num_users();
   assert(num_users >= 2);
 
@@ -159,7 +160,7 @@ std::size_t GossipSimulation::run_round(std::uint64_t round) {
                         master_rng_.split(streams::kNode)
                             .split(round)
                             .split(user_index + 1),
-                        cones};
+                        cones, nullptr, &eval_engine_};
     HonestNode node(config_.node);
     auto publish = node.step(context, dataset_->user(user_index));
     if (!publish) {
@@ -219,9 +220,15 @@ RoundRecord GossipSimulation::evaluate(std::uint64_t round) {
   const data::DataSplit pooled = dataset_->pooled_test(users);
   if (pooled.empty()) return record;
 
-  nn::Model model = factory_();
-  model.set_parameters(reference.params);
-  const data::EvalResult eval = data::evaluate(model, pooled);
+  // Only loss/accuracy are reported, so the cached params_eval path
+  // (reference payload list × pooled-split identity) covers the whole eval.
+  const std::shared_ptr<const BatchedSplit> prepared =
+      eval_engine_.prepare(pooled);
+  const data::EvalResult eval =
+      eval_engine_
+          .params_eval(ParamsKey{reference.payloads}, reference.params,
+                       *prepared)
+          .result;
   record.accuracy = eval.accuracy;
   record.loss = eval.loss;
   return record;

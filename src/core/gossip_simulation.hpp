@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "core/eval_engine.hpp"
 #include "core/metrics.hpp"
 #include "core/node.hpp"
 #include "data/poison.hpp"
@@ -46,6 +47,10 @@ struct GossipConfig {
   // to the same membership (keyed by membership hash — see
   // tangle/view_cache.hpp). Bit-identical results either way.
   bool use_view_cache = true;
+
+  // Cache loss-probe results across probes and rounds in the shared eval
+  // engine; byte-identical outputs either way (core/eval_engine.hpp).
+  bool use_eval_cache = true;
 };
 
 struct GossipStats {
@@ -99,6 +104,8 @@ class GossipSimulation {
   // Replicas diverge, so keep enough slots for every distinct membership a
   // round's participants may hold (plus the observer's eval view).
   tangle::ViewCache view_cache_{16};
+  // Shared loss-probe engine (cache + model pool + pre-batched splits).
+  EvalEngine eval_engine_;
 };
 
 /// Convenience wrapper mirroring run_tangle_learning.

@@ -1,6 +1,7 @@
 #include "core/node.hpp"
 
 #include "core/biased_walk.hpp"
+#include "core/eval_engine.hpp"
 #include "core/rng_streams.hpp"
 
 #include <algorithm>
@@ -39,6 +40,17 @@ obs::Counter& suppressed_no_improvement_counter() {
 obs::Counter& suppressed_no_data_counter() {
   static obs::Counter& counter =
       obs::MetricsRegistry::global().counter("node.step.suppressed.no_data");
+  return counter;
+}
+
+// Distinct candidates whose loss a node *needed* this step (probed) vs the
+// subset that actually cost forward passes (evaluated — an eval-cache miss,
+// or every probe on the legacy path). Without the cache the two counters
+// are equal; with it, `evaluated` scales with distinct new payloads rather
+// than rounds × participants.
+obs::Counter& candidate_probe_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("node.candidates.probed");
   return counter;
 }
 
@@ -88,6 +100,16 @@ obs::Histogram& validate_timing() {
 
 std::vector<tangle::TxIndex> HonestNode::choose_parents(
     NodeContext& context, const data::DataSplit& validation) {
+  std::shared_ptr<const BatchedSplit> prepared;
+  if (context.eval != nullptr && !validation.empty()) {
+    prepared = context.eval->prepare(validation);
+  }
+  return choose_parents(context, validation, prepared);
+}
+
+std::vector<tangle::TxIndex> HonestNode::choose_parents(
+    NodeContext& context, const data::DataSplit& validation,
+    const std::shared_ptr<const BatchedSplit>& prepared) {
   const std::size_t num_tips = std::max<std::size_t>(1, config_.num_tips);
   const std::size_t sample_size =
       std::max(num_tips, config_.tip_sample_size);
@@ -95,7 +117,10 @@ std::vector<tangle::TxIndex> HonestNode::choose_parents(
   Rng walk_rng = context.rng.split(streams::kWalk);
   std::vector<tangle::TxIndex> candidates;
   if (config_.use_biased_walk) {
-    LocalLossCache cache(context.store, context.factory, validation);
+    LocalLossCache cache =
+        context.eval != nullptr
+            ? LocalLossCache(*context.eval, context.store, prepared)
+            : LocalLossCache(context.store, context.factory, validation);
     const BiasedWalkConfig walk_config{config_.tip_selection.alpha,
                                        config_.walk_loss_beta};
     candidates = context.cones
@@ -127,10 +152,20 @@ std::vector<tangle::TxIndex> HonestNode::choose_parents(
   std::vector<std::pair<double, tangle::TxIndex>> scored;
   scored.reserve(distinct.size());
   for (const tangle::TxIndex tip : distinct) {
-    const nn::ParamVector& params =
-        context.store.get(context.view.tangle().transaction(tip).payload);
-    const double loss = params_loss(context.factory, params, validation);
-    candidate_eval_counter().increment();
+    const tangle::PayloadId payload =
+        context.view.tangle().transaction(tip).payload;
+    double loss = 0.0;
+    candidate_probe_counter().increment();
+    if (prepared != nullptr) {
+      const EvalOutcome outcome =
+          context.eval->payload_eval(context.store, payload, *prepared);
+      loss = outcome.result.loss;
+      if (!outcome.cache_hit) candidate_eval_counter().increment();
+    } else {
+      loss = params_loss(context.factory, context.store.get(payload),
+                         validation);
+      candidate_eval_counter().increment();
+    }
     candidate_loss_histogram().record(loss);
     scored.emplace_back(loss, tip);
   }
@@ -158,6 +193,12 @@ std::optional<PublishRequest> HonestNode::step(NodeContext& context,
   // users without one so tiny users can still participate.
   const data::DataSplit& validation =
       user.test.empty() ? user.train : user.test;
+  // Batch the validation split once; every loss probe of this step (walk
+  // bias, candidate scoring, publish gate) reuses the gathered tensors.
+  std::shared_ptr<const BatchedSplit> prepared;
+  if (context.eval != nullptr && !validation.empty()) {
+    prepared = context.eval->prepare(validation);
+  }
 
   // w_r <- ChooseReferenceWeights(G)
   Rng reference_rng = context.rng.split(streams::kReference);
@@ -173,7 +214,7 @@ std::optional<PublishRequest> HonestNode::step(NodeContext& context,
   // (w_1, .., w_n) <- TipSelection(G); w_avg <- mean
   const std::vector<tangle::TxIndex> parents = [&] {
     obs::TraceScope span("node.tip_selection", &tip_selection_timing());
-    return choose_parents(context, validation);
+    return choose_parents(context, validation, prepared);
   }();
   std::vector<const nn::ParamVector*> parent_params;
   parent_params.reserve(parents.size());
@@ -210,9 +251,21 @@ std::optional<PublishRequest> HonestNode::step(NodeContext& context,
 
   // if ValidationLoss(w_new) < ValidationLoss(w_r): Broadcast(w_new)
   obs::TraceScope validate_span("node.validate", &validate_timing());
-  const double new_loss = data::evaluate(model, validation).loss;
-  const double reference_loss =
-      params_loss(context.factory, reference.params, validation);
+  double new_loss = 0.0;
+  double reference_loss = 0.0;
+  if (prepared != nullptr) {
+    // The freshly trained parameters have no payload identity yet —
+    // uncached forward. The reference average is identified by its ordered
+    // payload list, so its loss caches across steps and rounds.
+    new_loss = context.eval->evaluate(model, *prepared).loss;
+    reference_loss = context.eval
+                         ->params_eval(ParamsKey{reference.payloads},
+                                       reference.params, *prepared)
+                         .result.loss;
+  } else {
+    new_loss = data::evaluate(model, validation).loss;
+    reference_loss = params_loss(context.factory, reference.params, validation);
+  }
   if (new_loss >= reference_loss) {
     suppressed_no_improvement_counter().increment();
     return std::nullopt;

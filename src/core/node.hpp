@@ -21,6 +21,9 @@
 
 namespace tanglefl::core {
 
+class BatchedSplit;
+class EvalEngine;
+
 /// Per-node algorithm parameters (the hyperparameters of Table II plus the
 /// training configuration of Table I).
 struct NodeConfig {
@@ -74,6 +77,10 @@ struct NodeContext {
   // so the published parameters are bit-identical for any pool size. Not
   // owned; null trains serially.
   ThreadPool* kernel_pool = nullptr;
+  // Shared evaluation engine (core/eval_engine.hpp). Null routes every loss
+  // probe through the legacy factory()-per-probe path; results are
+  // bit-identical either way. Not owned; must outlive the step.
+  EvalEngine* eval = nullptr;
 };
 
 class NodeBehavior {
@@ -105,6 +112,12 @@ class HonestNode final : public NodeBehavior {
                                               const data::DataSplit& validation);
 
  private:
+  /// Same, probing candidate losses through `prepared` (the engine-batched
+  /// form of `validation`) when the context carries an eval engine.
+  std::vector<tangle::TxIndex> choose_parents(
+      NodeContext& context, const data::DataSplit& validation,
+      const std::shared_ptr<const BatchedSplit>& prepared);
+
   NodeConfig config_;
 };
 

@@ -2,11 +2,39 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
+#include <functional>
 
 #include "tangle/view_cache.hpp"
 
 namespace tanglefl::core {
+
+std::vector<tangle::TxIndex> top_priority_indices(
+    std::span<const double> priorities, std::size_t take) {
+  // Pair ordering matches the old priority_queue<pair<double, TxIndex>>
+  // pop sequence bit-exactly: descending priority, ties to the newest
+  // (highest) index. Indices are unique, so the order is a strict total
+  // order and nth_element + sort of the prefix reproduces it.
+  using Entry = std::pair<double, tangle::TxIndex>;
+  std::vector<Entry> entries;
+  entries.reserve(priorities.size());
+  for (tangle::TxIndex i = 0; i < priorities.size(); ++i) {
+    entries.emplace_back(priorities[i], i);
+  }
+  take = std::min(take, entries.size());
+  if (take < entries.size()) {
+    std::nth_element(entries.begin(),
+                     entries.begin() + static_cast<std::ptrdiff_t>(take),
+                     entries.end(), std::greater<Entry>());
+    entries.resize(take);
+  }
+  std::sort(entries.begin(), entries.end(), std::greater<Entry>());
+
+  std::vector<tangle::TxIndex> indices;
+  indices.reserve(entries.size());
+  for (const Entry& entry : entries) indices.push_back(entry.second);
+  return indices;
+}
+
 namespace {
 
 ReferenceResult choose_reference_impl(const tangle::TangleView& view,
@@ -14,26 +42,26 @@ ReferenceResult choose_reference_impl(const tangle::TangleView& view,
                                       std::vector<double> confidences,
                                       std::vector<double> ratings,
                                       const ReferenceConfig& config) {
-  // Priority queue over confidence * rating, exactly as in Algorithm 1.
-  // Ties (e.g. the all-zero priorities right after genesis) resolve to the
-  // newest transaction so early rounds track fresh training results.
-  using Entry = std::pair<double, tangle::TxIndex>;
-  std::priority_queue<Entry> queue;
+  // Top-k over confidence * rating, exactly as in Algorithm 1. Ties (e.g.
+  // the all-zero priorities right after genesis) resolve to the newest
+  // transaction so early rounds track fresh training results.
+  std::vector<double> priorities(view.size());
   for (tangle::TxIndex i = 0; i < view.size(); ++i) {
-    queue.emplace(confidences[i] * ratings[i], i);
+    priorities[i] = confidences[i] * ratings[i];
   }
-
   const std::size_t take =
       std::max<std::size_t>(1, std::min(config.num_reference_models,
                                         view.size()));
+
   ReferenceResult result;
+  result.transactions = top_priority_indices(priorities, take);
   std::vector<const nn::ParamVector*> payloads;
-  while (result.transactions.size() < take && !queue.empty()) {
-    const auto [priority, index] = queue.top();
-    queue.pop();
-    (void)priority;
-    result.transactions.push_back(index);
-    payloads.push_back(&store.get(view.tangle().transaction(index).payload));
+  result.payloads.reserve(result.transactions.size());
+  payloads.reserve(result.transactions.size());
+  for (const tangle::TxIndex index : result.transactions) {
+    const tangle::PayloadId payload = view.tangle().transaction(index).payload;
+    result.payloads.push_back(payload);
+    payloads.push_back(&store.get(payload));
   }
   result.params = nn::average_params(payloads);
   return result;

@@ -5,6 +5,7 @@
 // which Table II probes as "# transactions chosen as reference model".
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "nn/params.hpp"
@@ -23,9 +24,20 @@ struct ReferenceConfig {
 struct ReferenceResult {
   // Transactions in descending priority order (as many as were averaged).
   std::vector<tangle::TxIndex> transactions;
+  // Store payload ids of those transactions, in the same order. Together
+  // they identify `params` exactly (payloads are content-deduplicated), so
+  // evaluation results on the averaged model can be cached by this list.
+  std::vector<tangle::PayloadId> payloads;
   // Averaged payload of those transactions.
   nn::ParamVector params;
 };
+
+/// Indices of the `take` highest-priority entries, in descending
+/// (priority, index) order — ties resolve to the newest (highest) index.
+/// O(V + k log k) via nth_element instead of a full priority queue.
+/// Exposed for the regression test against the heap-based selection.
+std::vector<tangle::TxIndex> top_priority_indices(
+    std::span<const double> priorities, std::size_t take);
 
 /// Runs Algorithm 1 over `view`. The view always contains at least the
 /// genesis transaction, so a result always exists.

@@ -70,7 +70,8 @@ TangleSimulation::TangleSimulation(const data::FederatedDataset& dataset,
       pool_(std::max<std::size_t>(1, config.threads)),
       kernel_pool_(config.kernel_threads > 1
                        ? std::make_unique<ThreadPool>(config.kernel_threads)
-                       : nullptr) {
+                       : nullptr),
+      eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}) {
   if (config_.auto_confidence_samples) {
     config_.node.reference.confidence.sample_rounds = config_.nodes_per_round;
   }
@@ -138,7 +139,7 @@ std::size_t TangleSimulation::run_round(std::uint64_t round) {
                         master_rng_.split(streams::kNode)
                             .split(round)
                             .split(user_index + 1),
-                        cones, kernel_pool_.get()};
+                        cones, kernel_pool_.get(), &eval_engine_};
 
     if (!malicious) {
       HonestNode node(config_.node);
@@ -211,18 +212,20 @@ std::size_t TangleSimulation::run_round(std::uint64_t round) {
   return published;
 }
 
-nn::ParamVector TangleSimulation::consensus_params() {
+ReferenceResult TangleSimulation::consensus_reference() {
   // kConsensus, not kEval: consensus walks and eval-user sampling used to
   // share the kEval root, colliding whenever tangle_.size() == round (see
   // core/rng_streams.hpp).
   Rng rng = master_rng_.split(streams::kConsensus).split(tangle_.size());
   const tangle::TangleView view = tangle_.view();
-  const ReferenceResult reference =
-      config_.use_view_cache
-          ? choose_reference(view, store_, *view_cache_.get(view, &pool_),
-                             rng, config_.node.reference)
-          : choose_reference(view, store_, rng, config_.node.reference);
-  return reference.params;
+  return config_.use_view_cache
+             ? choose_reference(view, store_, *view_cache_.get(view, &pool_),
+                                rng, config_.node.reference)
+             : choose_reference(view, store_, rng, config_.node.reference);
+}
+
+nn::ParamVector TangleSimulation::consensus_params() {
+  return consensus_reference().params;
 }
 
 RoundRecord TangleSimulation::evaluate(std::uint64_t round) {
@@ -252,16 +255,28 @@ RoundRecord TangleSimulation::evaluate(std::uint64_t round) {
   const data::DataSplit pooled = dataset_->pooled_test(users);
   if (pooled.empty()) return record;
 
-  nn::Model model = factory_();
-  model.set_parameters(consensus_params());
-  const data::EvalResult eval = data::evaluate(model, pooled);
+  // Consensus eval via the engine: the pooled split is batched once per
+  // eval round, the model comes from the pool, and the (reference payload
+  // list, split) result caches — a repeat eval of an unchanged consensus
+  // model on the same eval users costs no forward passes.
+  const ReferenceResult reference = consensus_reference();
+  const std::shared_ptr<const BatchedSplit> prepared =
+      eval_engine_.prepare(pooled);
+  EvalEngine::ModelLease lease = eval_engine_.acquire();
+  lease.model().set_parameters(reference.params);
+  const data::EvalResult eval =
+      eval_engine_
+          .evaluate_cached(ParamsKey{reference.payloads}, lease.model(),
+                           *prepared)
+          .result;
   record.accuracy = eval.accuracy;
   record.loss = eval.loss;
   record.target_misclassification = data::targeted_misclassification_rate(
-      model, pooled, config_.flip.source_class, config_.flip.target_class);
+      lease.model(), pooled, config_.flip.source_class,
+      config_.flip.target_class);
   if (config_.attack == AttackType::kBackdoor) {
     record.backdoor_success =
-        data::backdoor_success_rate(model, pooled, config_.trigger);
+        data::backdoor_success_rate(lease.model(), pooled, config_.trigger);
   }
   return record;
 }

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/eval_engine.hpp"
 #include "core/metrics.hpp"
 #include "core/node.hpp"
 #include "data/poison.hpp"
@@ -61,6 +62,12 @@ struct SimulationConfig {
   // recompute cost (see tangle/view_cache.hpp).
   bool use_view_cache = true;
 
+  // Cache loss-probe results across probes and rounds in the shared eval
+  // engine (see core/eval_engine.hpp). Losses are pure functions of
+  // (params, split), so outputs are byte-identical either way; disable
+  // only to measure the redundant re-evaluation cost.
+  bool use_eval_cache = true;
+
   // Paper: "we set the number of sampling rounds for establishing the
   // consensus and for selecting the parent tips for training equal to the
   // number of active nodes per round". When true, confidence sampling
@@ -94,9 +101,16 @@ class TangleSimulation {
   /// Consensus parameters right now (Algorithm 1 over the full ledger).
   nn::ParamVector consensus_params();
 
+  /// Shared evaluation engine (loss cache + model pool), exposed for tests.
+  EvalEngine& eval_engine() noexcept { return eval_engine_; }
+
  private:
   bool attack_active(std::uint64_t round) const noexcept;
   bool is_malicious(std::size_t user) const noexcept;
+
+  /// Full Algorithm 1 result over the current ledger (transactions,
+  /// payload ids, averaged params) — consensus_params() returns its params.
+  ReferenceResult consensus_reference();
 
   const data::FederatedDataset* dataset_;
   nn::ModelFactory factory_;
@@ -111,6 +125,9 @@ class TangleSimulation {
   // Round views are strict prefixes that grow monotonically, so a couple
   // of slots cover the live round view plus the full eval view.
   tangle::ViewCache view_cache_{4};
+  // Shared loss-probe engine: payload-loss cache, model pool, pre-batched
+  // validation splits. All node steps and round-record evals go through it.
+  EvalEngine eval_engine_;
 
   std::vector<std::size_t> malicious_users_;    // sorted user indices
   std::vector<data::UserData> poisoned_users_;  // parallel to malicious_users_

@@ -31,6 +31,21 @@ DataSplit DataSplit::gather(std::span<const std::size_t> indices) const {
   return out;
 }
 
+DataSplit DataSplit::slice(std::size_t start, std::size_t count) const {
+  assert(start + count <= size());
+  const std::size_t stride = size() == 0 ? 0 : features.size() / size();
+  std::vector<std::size_t> shape = features.shape();
+  shape[0] = count;
+
+  DataSplit out;
+  out.features = nn::Tensor(std::move(shape));
+  std::copy_n(features.data() + start * stride, count * stride,
+              out.features.data());
+  out.labels.assign(labels.begin() + static_cast<std::ptrdiff_t>(start),
+                    labels.begin() + static_cast<std::ptrdiff_t>(start + count));
+  return out;
+}
+
 void DataSplit::append(const DataSplit& other) {
   if (other.empty()) return;
   if (empty()) {

@@ -26,6 +26,11 @@ struct DataSplit {
   /// Copies the examples at `indices` into a contiguous batch.
   [[nodiscard]] DataSplit gather(std::span<const std::size_t> indices) const;
 
+  /// Copies the contiguous example range [start, start + count) into a
+  /// batch — equivalent to gather({start, ..., start + count - 1}) without
+  /// materializing an index vector (one block copy instead of per-row).
+  [[nodiscard]] DataSplit slice(std::size_t start, std::size_t count) const;
+
   /// Appends another split with identical per-example shape.
   void append(const DataSplit& other);
 

@@ -63,6 +63,42 @@ double train_local(nn::Model& model, const DataSplit& split,
   return final_epoch_loss;
 }
 
+namespace {
+
+/// Shared inference batching for the three evaluation metrics: contiguous
+/// slices of `split` (no per-batch index vectors), one eval-mode forward
+/// per batch, `fn(logits, labels)` on each.
+template <typename Fn>
+void for_each_eval_batch(nn::Model& model, const DataSplit& split,
+                         std::size_t batch_size, Fn&& fn) {
+  for (std::size_t start = 0; start < split.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, split.size() - start);
+    const DataSplit batch = split.slice(start, count);
+    const nn::Tensor logits = model.forward(batch.features, /*training=*/false);
+    fn(logits, std::span<const std::int32_t>(batch.labels));
+  }
+}
+
+/// Rows of `split` predicted as `predicted_class`.
+std::size_t count_predicted(nn::Model& model, const DataSplit& split,
+                            std::int32_t predicted_class,
+                            std::size_t batch_size) {
+  std::size_t hits = 0;
+  for_each_eval_batch(
+      model, split, batch_size,
+      [&](const nn::Tensor& logits, std::span<const std::int32_t> labels) {
+        for (std::size_t b = 0; b < labels.size(); ++b) {
+          if (logits.argmax_row(b) ==
+              static_cast<std::size_t>(predicted_class)) {
+            ++hits;
+          }
+        }
+      });
+  return hits;
+}
+
+}  // namespace
+
 EvalResult evaluate(nn::Model& model, const DataSplit& split,
                     std::size_t batch_size) {
   EvalResult result;
@@ -70,23 +106,18 @@ EvalResult evaluate(nn::Model& model, const DataSplit& split,
 
   double loss_sum = 0.0;
   std::size_t correct = 0;
-  for (std::size_t start = 0; start < split.size(); start += batch_size) {
-    const std::size_t count = std::min(batch_size, split.size() - start);
-    std::vector<std::size_t> indices(count);
-    for (std::size_t i = 0; i < count; ++i) indices[i] = start + i;
-    const DataSplit batch = split.gather(indices);
-
-    const nn::Tensor logits = model.forward(batch.features, /*training=*/false);
-    const std::span<const std::int32_t> labels(batch.labels);
-    loss_sum +=
-        static_cast<double>(nn::softmax_cross_entropy_loss(logits, labels)) *
-        static_cast<double>(count);
-    for (std::size_t b = 0; b < count; ++b) {
-      if (logits.argmax_row(b) == static_cast<std::size_t>(labels[b])) {
-        ++correct;
-      }
-    }
-  }
+  for_each_eval_batch(
+      model, split, batch_size,
+      [&](const nn::Tensor& logits, std::span<const std::int32_t> labels) {
+        loss_sum += static_cast<double>(
+                        nn::softmax_cross_entropy_loss(logits, labels)) *
+                    static_cast<double>(labels.size());
+        for (std::size_t b = 0; b < labels.size(); ++b) {
+          if (logits.argmax_row(b) == static_cast<std::size_t>(labels[b])) {
+            ++correct;
+          }
+        }
+      });
   result.samples = split.size();
   result.loss = loss_sum / static_cast<double>(split.size());
   result.accuracy =
@@ -107,20 +138,8 @@ double backdoor_success_rate(nn::Model& model, const DataSplit& clean_test,
   const DataSplit triggered =
       apply_backdoor(clean_test.gather(indices), trigger);
 
-  std::size_t hits = 0;
-  for (std::size_t start = 0; start < triggered.size(); start += batch_size) {
-    const std::size_t count = std::min(batch_size, triggered.size() - start);
-    std::vector<std::size_t> batch_indices(count);
-    for (std::size_t i = 0; i < count; ++i) batch_indices[i] = start + i;
-    const DataSplit batch = triggered.gather(batch_indices);
-    const nn::Tensor logits = model.forward(batch.features, false);
-    for (std::size_t b = 0; b < count; ++b) {
-      if (logits.argmax_row(b) ==
-          static_cast<std::size_t>(trigger.target_class)) {
-        ++hits;
-      }
-    }
-  }
+  const std::size_t hits =
+      count_predicted(model, triggered, trigger.target_class, batch_size);
   return static_cast<double>(hits) / static_cast<double>(triggered.size());
 }
 
@@ -135,21 +154,11 @@ double targeted_misclassification_rate(nn::Model& model,
   }
   if (source_indices.empty()) return 0.0;
 
-  std::size_t hits = 0;
-  for (std::size_t start = 0; start < source_indices.size();
-       start += batch_size) {
-    const std::size_t count =
-        std::min(batch_size, source_indices.size() - start);
-    const std::span<const std::size_t> indices(source_indices.data() + start,
-                                               count);
-    const DataSplit batch = split.gather(indices);
-    const nn::Tensor logits = model.forward(batch.features, /*training=*/false);
-    for (std::size_t b = 0; b < count; ++b) {
-      if (logits.argmax_row(b) == static_cast<std::size_t>(target_class)) {
-        ++hits;
-      }
-    }
-  }
+  // Gather the source-class rows once; batches are then contiguous slices
+  // with contents identical to per-batch gathers of the index subranges.
+  const DataSplit source = split.gather(source_indices);
+  const std::size_t hits =
+      count_predicted(model, source, target_class, batch_size);
   return static_cast<double>(hits) /
          static_cast<double>(source_indices.size());
 }

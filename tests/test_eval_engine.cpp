@@ -1,0 +1,408 @@
+// Tests for the shared evaluation engine (core/eval_engine): content-keyed
+// split identity, bit-exact cached evaluation, model pooling under
+// concurrent probes, and end-to-end byte-identity of all three simulation
+// engines with the loss cache on versus off.
+#include "core/eval_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/async_simulation.hpp"
+#include "core/gossip_simulation.hpp"
+#include "core/node.hpp"
+#include "core/simulation.hpp"
+#include "data/femnist_synth.hpp"
+#include "nn/model_zoo.hpp"
+#include "support/thread_pool.hpp"
+#include "tangle/model_store.hpp"
+
+namespace tanglefl::core {
+namespace {
+
+using tangle::ModelStore;
+using tangle::Tangle;
+using tangle::TxIndex;
+
+data::DataSplit make_split(std::size_t n, std::uint64_t seed,
+                           std::int32_t classes = 2) {
+  Rng rng(seed);
+  data::DataSplit split;
+  split.features = nn::Tensor({n, 2});
+  split.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    split.features.at(i, 0) = static_cast<float>(rng.normal());
+    split.features.at(i, 1) = static_cast<float>(rng.normal());
+    split.labels[i] =
+        static_cast<std::int32_t>(rng.uniform_index(
+            static_cast<std::uint64_t>(classes)));
+  }
+  return split;
+}
+
+nn::ModelFactory mlp_factory() {
+  return [] { return nn::make_mlp(2, 6, 2); };
+}
+
+nn::ParamVector random_params(const nn::ModelFactory& factory,
+                              std::uint64_t seed) {
+  nn::Model model = factory();
+  Rng rng(seed);
+  model.init(rng);
+  return model.get_parameters();
+}
+
+TEST(EvalEngine, SplitKeyIsContentIdentity) {
+  EvalEngine engine(mlp_factory());
+  const data::DataSplit split = make_split(30, 5);
+  data::DataSplit copy = split;  // distinct object, identical contents
+
+  const auto a = engine.prepare(split);
+  const auto b = engine.prepare(copy);
+  EXPECT_EQ(a.get(), b.get());  // reused by content, not by address
+  EXPECT_EQ(a->key(), b->key());
+  EXPECT_EQ(engine.cached_splits(), 1u);
+
+  copy.features.at(0, 0) += 1.0f;
+  const auto c = engine.prepare(copy);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_FALSE(a->key() == c->key());
+
+  data::DataSplit relabeled = split;
+  relabeled.labels[0] = 1 - relabeled.labels[0];
+  const auto d = engine.prepare(relabeled);
+  EXPECT_NE(a.get(), d.get());
+  EXPECT_FALSE(a->key() == d->key());
+  EXPECT_EQ(engine.cached_splits(), 3u);
+}
+
+TEST(EvalEngine, EvaluateMatchesDataEvaluateBitwise) {
+  // 150 samples -> batches of 64, 64, 22: exercises the partial tail batch
+  // and the per-batch mean-times-count accumulation order.
+  EvalEngine engine(mlp_factory());
+  const data::DataSplit split = make_split(150, 11);
+  const auto prepared = engine.prepare(split);
+  ASSERT_EQ(prepared->samples(), 150u);
+  ASSERT_EQ(prepared->batch_count(), 3u);
+
+  nn::Model model = mlp_factory()();
+  Rng rng(21);
+  model.init(rng);
+
+  const data::EvalResult direct = data::evaluate(model, split);
+  const data::EvalResult pooled = engine.evaluate(model, *prepared);
+  EXPECT_EQ(direct.loss, pooled.loss);  // bitwise, not approximate
+  EXPECT_EQ(direct.accuracy, pooled.accuracy);
+}
+
+TEST(EvalEngine, PayloadEvalCachesAcrossProbesAndDedupedPayloads) {
+  EvalEngine engine(mlp_factory());
+  ModelStore store;
+  const nn::ParamVector params = random_params(mlp_factory(), 7);
+  const auto first = store.add(params);
+  const auto duplicate = store.add(params);  // content-deduplicated
+  ASSERT_EQ(first.id, duplicate.id);
+
+  const data::DataSplit split = make_split(40, 13);
+  const auto prepared = engine.prepare(split);
+
+  const EvalOutcome miss = engine.payload_eval(store, first.id, *prepared);
+  EXPECT_FALSE(miss.cache_hit);
+  const EvalOutcome hit = engine.payload_eval(store, duplicate.id, *prepared);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(miss.result.loss, hit.result.loss);
+  EXPECT_EQ(miss.result.accuracy, hit.result.accuracy);
+  EXPECT_EQ(engine.cached_results(), 1u);
+
+  // Same payload on a different split is a distinct cache entry.
+  const auto other = engine.prepare(make_split(40, 14));
+  EXPECT_FALSE(engine.payload_eval(store, first.id, *other).cache_hit);
+  EXPECT_EQ(engine.cached_results(), 2u);
+}
+
+TEST(EvalEngine, ParamsEvalKeyedByOrderedPayloadList) {
+  EvalEngine engine(mlp_factory());
+  ModelStore store;
+  const auto a = store.add(random_params(mlp_factory(), 31));
+  const auto b = store.add(random_params(mlp_factory(), 32));
+  const std::vector<const nn::ParamVector*> pointers = {&store.get(a.id),
+                                                        &store.get(b.id)};
+  const nn::ParamVector averaged = nn::average_params(pointers);
+
+  const data::DataSplit split = make_split(50, 15);
+  const auto prepared = engine.prepare(split);
+
+  const ParamsKey key{{a.id, b.id}};
+  const EvalOutcome miss = engine.params_eval(key, averaged, *prepared);
+  EXPECT_FALSE(miss.cache_hit);
+  const EvalOutcome hit = engine.params_eval(key, averaged, *prepared);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(miss.result.loss, hit.result.loss);
+
+  // The reversed list is a different identity (average_params is order-
+  // sensitive in float arithmetic only by convention; the key is exact).
+  const EvalOutcome reversed =
+      engine.params_eval(ParamsKey{{b.id, a.id}}, averaged, *prepared);
+  EXPECT_FALSE(reversed.cache_hit);
+
+  // The cached value equals the direct uncached computation bitwise.
+  nn::Model model = mlp_factory()();
+  model.set_parameters(averaged);
+  const data::EvalResult direct = data::evaluate(model, split);
+  EXPECT_EQ(hit.result.loss, direct.loss);
+  EXPECT_EQ(hit.result.accuracy, direct.accuracy);
+}
+
+TEST(EvalEngine, CacheOffStillPoolsAndMatches) {
+  EvalEngineConfig config;
+  config.use_cache = false;
+  EvalEngine engine(mlp_factory(), config);
+  ModelStore store;
+  const auto added = store.add(random_params(mlp_factory(), 41));
+  const data::DataSplit split = make_split(40, 16);
+  const auto prepared = engine.prepare(split);
+
+  const EvalOutcome one = engine.payload_eval(store, added.id, *prepared);
+  const EvalOutcome two = engine.payload_eval(store, added.id, *prepared);
+  EXPECT_FALSE(one.cache_hit);
+  EXPECT_FALSE(two.cache_hit);
+  EXPECT_EQ(one.result.loss, two.result.loss);
+  EXPECT_EQ(engine.cached_results(), 0u);
+  EXPECT_EQ(engine.cached_splits(), 0u);
+  // Sequential probes reuse a single pooled instance.
+  EXPECT_EQ(engine.models_created(), 1u);
+}
+
+TEST(EvalEngine, PoolReusesInstancesUnderParallelFor) {
+  // With the cache off every probe runs a forward pass and needs a model.
+  // parallel_for runs at most (workers + caller) lanes, so the pool must
+  // not create more instances than that — and far fewer than probes.
+  EvalEngineConfig config;
+  config.use_cache = false;
+  EvalEngine engine(mlp_factory(), config);
+  ModelStore store;
+  constexpr std::size_t kPayloads = 8;
+  std::vector<tangle::PayloadId> ids;
+  for (std::size_t i = 0; i < kPayloads; ++i) {
+    ids.push_back(store.add(random_params(mlp_factory(), 100 + i)).id);
+  }
+  const data::DataSplit split = make_split(60, 17);
+  const auto prepared = engine.prepare(split);
+
+  std::vector<double> expected(kPayloads);
+  for (std::size_t i = 0; i < kPayloads; ++i) {
+    nn::Model model = mlp_factory()();
+    model.set_parameters(store.get(ids[i]));
+    expected[i] = data::evaluate(model, split).loss;
+  }
+
+  constexpr std::size_t kProbes = 64;
+  std::vector<double> losses(kProbes, 0.0);
+  ThreadPool pool(3);
+  pool.parallel_for(kProbes, [&](std::size_t i) {
+    losses[i] =
+        engine.payload_eval(store, ids[i % kPayloads], *prepared).result.loss;
+  });
+  for (std::size_t i = 0; i < kProbes; ++i) {
+    EXPECT_EQ(losses[i], expected[i % kPayloads]) << "probe " << i;
+  }
+  EXPECT_LE(engine.models_created(), 4u);  // 3 workers + the caller lane
+  EXPECT_EQ(engine.pool_size(), engine.models_created());  // all returned
+}
+
+// --- end-to-end byte-identity -------------------------------------------
+
+data::FederatedDataset small_dataset() {
+  data::FemnistSynthConfig config;
+  config.num_users = 10;
+  config.num_classes = 3;
+  config.image_size = 8;
+  config.mean_samples_per_user = 15.0;
+  config.seed = 3;
+  return data::make_femnist_synth(config);
+}
+
+nn::ModelFactory small_factory() {
+  nn::ImageCnnConfig config;
+  config.image_size = 8;
+  config.num_classes = 3;
+  config.conv1_channels = 2;
+  config.conv2_channels = 4;
+  config.hidden = 8;
+  return [config] { return nn::make_image_cnn(config); };
+}
+
+void expect_identical_runs(const Tangle& tangle_a, const Tangle& tangle_b,
+                           const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(tangle_a.size(), tangle_b.size());
+  for (TxIndex i = 0; i < tangle_a.size(); ++i) {
+    EXPECT_EQ(to_hex(tangle_a.transaction(i).id),
+              to_hex(tangle_b.transaction(i).id));
+  }
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    const RoundRecord& ra = a.history[i];
+    const RoundRecord& rb = b.history[i];
+    EXPECT_EQ(ra.round, rb.round);
+    EXPECT_EQ(ra.accuracy, rb.accuracy);  // bitwise
+    EXPECT_EQ(ra.loss, rb.loss);
+    EXPECT_EQ(ra.target_misclassification, rb.target_misclassification);
+    EXPECT_EQ(ra.backdoor_success, rb.backdoor_success);
+    EXPECT_EQ(ra.tangle_size, rb.tangle_size);
+    EXPECT_EQ(ra.tip_count, rb.tip_count);
+    EXPECT_EQ(ra.publish_rate, rb.publish_rate);
+    EXPECT_EQ(ra.published_cumulative, rb.published_cumulative);
+    EXPECT_EQ(ra.suppressed_cumulative, rb.suppressed_cumulative);
+    EXPECT_EQ(ra.ledger_bytes, rb.ledger_bytes);
+  }
+}
+
+TEST(EvalEngine, SimulationByteIdenticalCacheOnVsOff) {
+  // Robust mode (tip_sample_size > num_tips) so every step runs the
+  // Section III-E candidate probes through the engine.
+  const auto dataset = small_dataset();
+  SimulationConfig on;
+  on.rounds = 4;
+  on.nodes_per_round = 4;
+  on.eval_every = 2;
+  on.eval_nodes_fraction = 0.5;
+  on.node.training.epochs = 1;
+  on.node.training.sgd.learning_rate = 0.05;
+  on.node.num_tips = 2;
+  on.node.tip_sample_size = 4;
+  on.seed = 1;
+  SimulationConfig off = on;
+  off.use_eval_cache = false;
+
+  TangleSimulation a(dataset, small_factory(), on);
+  TangleSimulation b(dataset, small_factory(), off);
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  expect_identical_runs(a.tangle(), b.tangle(), ra, rb);
+  // The cached run actually cached (the off run kept the map empty).
+  EXPECT_GT(a.eval_engine().cached_results(), 0u);
+  EXPECT_EQ(b.eval_engine().cached_results(), 0u);
+}
+
+TEST(EvalEngine, SimulationByteIdenticalAcrossThreadCounts) {
+  // The engine's sharded cache must not perturb determinism when node
+  // steps probe it concurrently.
+  const auto dataset = small_dataset();
+  SimulationConfig one;
+  one.rounds = 4;
+  one.nodes_per_round = 4;
+  one.eval_every = 2;
+  one.eval_nodes_fraction = 0.5;
+  one.node.training.epochs = 1;
+  one.node.training.sgd.learning_rate = 0.05;
+  one.node.num_tips = 2;
+  one.node.tip_sample_size = 4;
+  one.seed = 1;
+  one.threads = 1;
+  SimulationConfig four = one;
+  four.threads = 4;
+
+  TangleSimulation a(dataset, small_factory(), one);
+  TangleSimulation b(dataset, small_factory(), four);
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  expect_identical_runs(a.tangle(), b.tangle(), ra, rb);
+}
+
+TEST(EvalEngine, AsyncSimulationByteIdenticalCacheOnVsOff) {
+  const auto dataset = small_dataset();
+  AsyncSimulationConfig on;
+  on.duration_seconds = 30.0;
+  on.wake_rate_per_node = 0.3;
+  on.mean_training_seconds = 0.5;
+  on.network_delay_seconds = 0.5;
+  on.eval_every_seconds = 10.0;
+  on.eval_nodes_fraction = 0.5;
+  on.node.training.epochs = 1;
+  on.node.training.sgd.learning_rate = 0.05;
+  on.node.num_tips = 2;
+  on.node.tip_sample_size = 4;
+  on.seed = 7;
+  AsyncSimulationConfig off = on;
+  off.use_eval_cache = false;
+
+  AsyncTangleSimulation a(dataset, small_factory(), on);
+  AsyncTangleSimulation b(dataset, small_factory(), off);
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  expect_identical_runs(a.tangle(), b.tangle(), ra, rb);
+}
+
+TEST(EvalEngine, GossipSimulationByteIdenticalCacheOnVsOff) {
+  const auto dataset = small_dataset();
+  GossipConfig on;
+  on.rounds = 8;
+  on.nodes_per_round = 4;
+  on.peers_per_node = 3;
+  on.gossip_exchanges = 2;
+  on.eval_every = 4;
+  on.eval_nodes_fraction = 0.5;
+  on.node.training.epochs = 1;
+  on.node.training.sgd.learning_rate = 0.05;
+  on.node.num_tips = 2;
+  on.node.tip_sample_size = 4;
+  on.node.reference.confidence.sample_rounds = 6;
+  on.seed = 7;
+  GossipConfig off = on;
+  off.use_eval_cache = false;
+
+  GossipSimulation a(dataset, small_factory(), on);
+  GossipSimulation b(dataset, small_factory(), off);
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  expect_identical_runs(a.tangle(), b.tangle(), ra, rb);
+}
+
+TEST(EvalEngine, NodeStepBitIdenticalWithAndWithoutEngine) {
+  // A node step routed through the engine (prepared batches, pooled
+  // models, cached probes) must publish exactly what the legacy
+  // factory-per-probe path publishes.
+  nn::ModelFactory factory = mlp_factory();
+  ModelStore store;
+  nn::Model genesis_model = factory();
+  Rng genesis_rng(55);
+  genesis_model.init(genesis_rng);
+  const auto genesis = store.add(genesis_model.get_parameters());
+  Tangle tangle(genesis.id, genesis.hash);
+  const std::vector<TxIndex> genesis_parent = {0};
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const auto added = store.add(random_params(factory, 200 + i));
+    tangle.add_transaction(genesis_parent, added.id, added.hash, i + 1);
+  }
+
+  data::UserData user;
+  user.user_id = "probe";
+  user.train = make_split(40, 61);
+  user.test = make_split(20, 62);
+
+  NodeConfig config;
+  config.training.epochs = 2;
+  config.training.sgd.learning_rate = 0.2;
+  config.num_tips = 2;
+  config.tip_sample_size = 4;
+  HonestNode node(config);
+
+  const tangle::TangleView view = tangle.view();
+  NodeContext legacy{view, store, factory, 5, Rng(9)};
+  const auto without = node.step(legacy, user);
+
+  EvalEngine engine(factory);
+  NodeContext engined{view, store, factory, 5, Rng(9)};
+  engined.eval = &engine;
+  const auto with = node.step(engined, user);
+
+  ASSERT_EQ(without.has_value(), with.has_value());
+  if (without.has_value()) {
+    EXPECT_EQ(without->parents, with->parents);
+    EXPECT_EQ(without->params, with->params);  // bitwise ParamVector
+  }
+}
+
+}  // namespace
+}  // namespace tanglefl::core

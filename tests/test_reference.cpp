@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <queue>
+#include <utility>
+#include <vector>
+
 #include "tangle/model_store.hpp"
 
 namespace tanglefl::core {
@@ -112,6 +116,36 @@ TEST(Reference, DeterministicInRng) {
   const ReferenceResult b = choose_reference(f.tangle.view(), f.store, rng_b, {});
   EXPECT_EQ(a.transactions, b.transactions);
   EXPECT_EQ(a.params, b.params);
+}
+
+TEST(Reference, TopPriorityIndicesMatchesPriorityQueuePopOrder) {
+  // Regression for the priority_queue -> nth_element rewrite: the top-k
+  // selection must reproduce the old pop sequence bit-exactly, including
+  // the ties-go-to-the-newest-index rule. Quantized priorities force many
+  // exact ties.
+  Rng rng(99);
+  const std::size_t counts[] = {0, 1, 7, 64, 257};
+  for (const std::size_t count : counts) {
+    std::vector<double> priorities(count);
+    for (double& priority : priorities) {
+      priority = static_cast<double>(rng.uniform_index(8)) / 8.0;
+    }
+    const std::size_t takes[] = {0, 1, 3, count / 2, count, count + 5};
+    for (const std::size_t take : takes) {
+      // The old implementation, verbatim: push everything, pop `take`.
+      std::priority_queue<std::pair<double, TxIndex>> queue;
+      for (TxIndex i = 0; i < priorities.size(); ++i) {
+        queue.emplace(priorities[i], i);
+      }
+      std::vector<TxIndex> expected;
+      while (!queue.empty() && expected.size() < take) {
+        expected.push_back(queue.top().second);
+        queue.pop();
+      }
+      EXPECT_EQ(top_priority_indices(priorities, take), expected)
+          << "count=" << count << " take=" << take;
+    }
+  }
 }
 
 TEST(Reference, RespectsViewPrefix) {
