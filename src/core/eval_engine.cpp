@@ -140,7 +140,7 @@ EvalEngine::ModelLease::~ModelLease() {
 EvalEngine::ModelLease EvalEngine::acquire() {
   std::unique_ptr<nn::Model> model;
   {
-    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    const MutexLock lock(pool_mutex_);
     if (!pool_.empty()) {
       model = std::move(pool_.back());
       pool_.pop_back();
@@ -154,8 +154,19 @@ EvalEngine::ModelLease EvalEngine::acquire() {
 }
 
 void EvalEngine::release(std::unique_ptr<nn::Model> model) {
-  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  const MutexLock lock(pool_mutex_);
   pool_.push_back(std::move(model));
+}
+
+std::shared_ptr<const BatchedSplit> EvalEngine::find_split(
+    const SplitKey& key) {
+  for (SplitSlot& slot : splits_) {
+    if (slot.batched->key() == key) {
+      slot.last_used = ++split_tick_;
+      return slot.batched;
+    }
+  }
+  return nullptr;
 }
 
 std::shared_ptr<const BatchedSplit> EvalEngine::prepare(
@@ -163,13 +174,10 @@ std::shared_ptr<const BatchedSplit> EvalEngine::prepare(
   assert(!split.empty());
   const SplitKey key = split_key_of(split);
   if (config_.use_cache) {
-    const std::lock_guard<std::mutex> lock(split_mutex_);
-    for (SplitSlot& slot : splits_) {
-      if (slot.batched->key() == key) {
-        slot.last_used = ++split_tick_;
-        split_reuse_counter().increment();
-        return slot.batched;
-      }
+    const MutexLock lock(split_mutex_);
+    if (auto resident = find_split(key)) {
+      split_reuse_counter().increment();
+      return resident;
     }
   }
   split_build_counter().increment();
@@ -177,26 +185,28 @@ std::shared_ptr<const BatchedSplit> EvalEngine::prepare(
       std::make_shared<const BatchedSplit>(split, config_.batch_size, key);
   if (!config_.use_cache) return batched;
 
-  const std::lock_guard<std::mutex> lock(split_mutex_);
-  // Another thread may have inserted the same contents while we gathered;
-  // prefer the resident copy so probes share one instance.
-  for (SplitSlot& slot : splits_) {
-    if (slot.batched->key() == key) {
-      slot.last_used = ++split_tick_;
-      return slot.batched;
+  // Evicted splits are parked here and freed after the lock releases: a
+  // pooled-test split can be tens of MB, and running its destructor under
+  // split_mutex_ would block every concurrent probe's prepare().
+  std::vector<std::shared_ptr<const BatchedSplit>> evicted;
+  {
+    const MutexLock lock(split_mutex_);
+    // Another thread may have inserted the same contents while we
+    // gathered; prefer the resident copy so probes share one instance.
+    if (auto resident = find_split(key)) return resident;
+    splits_.push_back(SplitSlot{batched, ++split_tick_});
+    split_bytes_ += batched->bytes();
+    // Evict least-recently-used entries over budget, always keeping the
+    // newest (linear scan over a small vector — no unordered iteration).
+    while (split_bytes_ > config_.batched_budget_bytes && splits_.size() > 1) {
+      std::size_t oldest = 0;
+      for (std::size_t i = 1; i < splits_.size(); ++i) {
+        if (splits_[i].last_used < splits_[oldest].last_used) oldest = i;
+      }
+      split_bytes_ -= splits_[oldest].batched->bytes();
+      evicted.push_back(std::move(splits_[oldest].batched));
+      splits_.erase(splits_.begin() + static_cast<std::ptrdiff_t>(oldest));
     }
-  }
-  splits_.push_back(SplitSlot{batched, ++split_tick_});
-  split_bytes_ += batched->bytes();
-  // Evict least-recently-used entries over budget, always keeping the
-  // newest (linear scan over a small vector — no unordered iteration).
-  while (split_bytes_ > config_.batched_budget_bytes && splits_.size() > 1) {
-    std::size_t oldest = 0;
-    for (std::size_t i = 1; i < splits_.size(); ++i) {
-      if (splits_[i].last_used < splits_[oldest].last_used) oldest = i;
-    }
-    split_bytes_ -= splits_[oldest].batched->bytes();
-    splits_.erase(splits_.begin() + static_cast<std::ptrdiff_t>(oldest));
   }
   return batched;
 }
@@ -297,7 +307,7 @@ EvalEngine::Shard& EvalEngine::shard_for(const ResultKey& key) const {
 bool EvalEngine::lookup(const ResultKey& key, data::EvalResult& out) const {
   if (!config_.use_cache) return false;
   Shard& shard = shard_for(key);
-  const std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  const ReaderLock lock(shard.mutex);
   const auto it = shard.results.find(key);
   if (it == shard.results.end()) return false;
   out = it->second;
@@ -307,31 +317,31 @@ bool EvalEngine::lookup(const ResultKey& key, data::EvalResult& out) const {
 void EvalEngine::insert(const ResultKey& key, const data::EvalResult& result) {
   if (!config_.use_cache) return;
   Shard& shard = shard_for(key);
-  const std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  const WriterLock lock(shard.mutex);
   shard.results.emplace(key, result);
 }
 
 std::size_t EvalEngine::models_created() const {
-  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  const MutexLock lock(pool_mutex_);
   return models_created_;
 }
 
 std::size_t EvalEngine::pool_size() const {
-  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  const MutexLock lock(pool_mutex_);
   return pool_.size();
 }
 
 std::size_t EvalEngine::cached_results() const {
   std::size_t total = 0;
   for (std::size_t i = 0; i < kShards; ++i) {
-    const std::shared_lock<std::shared_mutex> lock(shards_[i].mutex);
+    const ReaderLock lock(shards_[i].mutex);
     total += shards_[i].results.size();
   }
   return total;
 }
 
 std::size_t EvalEngine::cached_splits() const {
-  const std::lock_guard<std::mutex> lock(split_mutex_);
+  const MutexLock lock(split_mutex_);
   return splits_.size();
 }
 

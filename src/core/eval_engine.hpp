@@ -37,8 +37,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +44,7 @@
 #include "data/dataset.hpp"
 #include "data/training.hpp"
 #include "nn/model.hpp"
+#include "support/sync.hpp"
 #include "tangle/model_store.hpp"
 
 namespace tanglefl::core {
@@ -194,8 +193,9 @@ class EvalEngine {
     std::size_t operator()(const ResultKey& key) const noexcept;
   };
   struct Shard {
-    mutable std::shared_mutex mutex;
-    std::unordered_map<ResultKey, data::EvalResult, ResultKeyHash> results;
+    mutable SharedMutex mutex;
+    std::unordered_map<ResultKey, data::EvalResult, ResultKeyHash> results
+        TANGLEFL_GUARDED_BY(mutex);
   };
   struct SplitSlot {
     std::shared_ptr<const BatchedSplit> batched;
@@ -208,19 +208,29 @@ class EvalEngine {
   bool lookup(const ResultKey& key, data::EvalResult& out) const;
   void insert(const ResultKey& key, const data::EvalResult& result);
   void release(std::unique_ptr<nn::Model> model);
+  /// Linear scan of the resident splits for `key`; bumps the LRU tick and
+  /// reuse counter on a find. Caller must hold split_mutex_.
+  std::shared_ptr<const BatchedSplit> find_split(const SplitKey& key)
+      TANGLEFL_REQUIRES(split_mutex_);
 
+  // lint:allow(unannotated-guard) immutable after construction
   nn::ModelFactory factory_;
+  // lint:allow(unannotated-guard) immutable after construction
   EvalEngineConfig config_;
 
-  mutable std::mutex pool_mutex_;
-  std::vector<std::unique_ptr<nn::Model>> pool_;  // guarded by pool_mutex_
-  std::size_t models_created_ = 0;                // guarded by pool_mutex_
+  mutable Mutex pool_mutex_;
+  std::vector<std::unique_ptr<nn::Model>> pool_
+      TANGLEFL_GUARDED_BY(pool_mutex_);
+  std::size_t models_created_ TANGLEFL_GUARDED_BY(pool_mutex_) = 0;
 
-  mutable std::mutex split_mutex_;
-  std::vector<SplitSlot> splits_;     // guarded by split_mutex_ (LRU scan)
-  std::size_t split_bytes_ = 0;       // guarded by split_mutex_
-  std::uint64_t split_tick_ = 0;      // guarded by split_mutex_
+  mutable Mutex split_mutex_;
+  std::vector<SplitSlot> splits_
+      TANGLEFL_GUARDED_BY(split_mutex_);  // LRU by linear scan
+  std::size_t split_bytes_ TANGLEFL_GUARDED_BY(split_mutex_) = 0;
+  std::uint64_t split_tick_ TANGLEFL_GUARDED_BY(split_mutex_) = 0;
 
+  // lint:allow(unannotated-guard) fixed array allocated in the ctor; each
+  // Shard carries its own lock for its contents.
   std::unique_ptr<Shard[]> shards_;
 };
 

@@ -136,7 +136,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name, bool timing) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry entry;
@@ -151,7 +151,7 @@ Counter& MetricsRegistry::counter(std::string_view name, bool timing) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name, bool timing) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry entry;
@@ -167,7 +167,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name, bool timing) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       const BucketLayout& layout, bool timing) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry entry;
@@ -187,7 +187,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 MetricsSnapshot MetricsRegistry::snapshot(SnapshotKind kind) const {
   MetricsSnapshot snap;
   snap.kind = kind;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, entry] : entries_) {
     if (kind == SnapshotKind::kDeterministic && entry.timing) continue;
     if (entry.counter) {
@@ -212,7 +212,7 @@ MetricsSnapshot MetricsRegistry::snapshot(SnapshotKind kind) const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, entry] : entries_) {
     (void)name;
     if (entry.counter) entry.counter->reset();

@@ -19,10 +19,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "support/sync.hpp"
 
 namespace tanglefl::obs {
 
@@ -170,10 +171,13 @@ class MetricsRegistry {
     bool timing = false;
   };
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // Ordered map: snapshot iteration is sorted by name for free, and node
-  // stability keeps handle references valid across registrations.
-  std::map<std::string, Entry, std::less<>> entries_;
+  // stability keeps handle references valid across registrations — the
+  // returned Counter&/Gauge&/Histogram& references are the sanctioned
+  // escape of guarded state (entries are never erased, values are atomic).
+  std::map<std::string, Entry, std::less<>> entries_
+      TANGLEFL_GUARDED_BY(mutex_);
 };
 
 }  // namespace tanglefl::obs

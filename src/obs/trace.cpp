@@ -47,7 +47,7 @@ TraceSink::~TraceSink() {
   if (trace_sink() == this) set_trace_sink(nullptr);
   bool needs_flush = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     needs_flush = !flushed_;
   }
   if (needs_flush && !flush()) {
@@ -59,19 +59,19 @@ TraceSink::~TraceSink() {
 void TraceSink::record(const char* name, std::uint64_t start_us,
                        std::uint64_t duration_us) {
   const std::uint32_t ordinal = thread_ordinal();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back({name, start_us, duration_us, ordinal});
 }
 
 std::size_t TraceSink::event_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.size();
 }
 
 bool TraceSink::flush() {
   std::vector<Event> events;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     events = events_;
     flushed_ = true;
   }

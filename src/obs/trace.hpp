@@ -10,11 +10,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "support/sync.hpp"
 
 namespace tanglefl::obs {
 
@@ -48,10 +48,10 @@ class TraceSink {
     std::uint32_t thread_ordinal;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
-  std::string path_;
-  bool flushed_ = false;
+  mutable Mutex mutex_;
+  std::vector<Event> events_ TANGLEFL_GUARDED_BY(mutex_);
+  std::string path_;  // lint:allow(unannotated-guard) immutable
+  bool flushed_ TANGLEFL_GUARDED_BY(mutex_) = false;
 };
 
 /// Attaches/detaches the process-global trace sink. Passing nullptr detaches.

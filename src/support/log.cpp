@@ -3,10 +3,21 @@
 #include <atomic>
 #include <cstdio>
 
+#include "support/sync.hpp"
+
 namespace tanglefl {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// Serializes emitted lines. stdio locks each fwrite internally, but the
+// explicit Mutex makes line atomicity a stated invariant the annotated
+// lock layer (and TSA) can see, instead of an implementation detail of
+// the C library.
+Mutex& stderr_mutex() {
+  static Mutex mutex;
+  return mutex;
+}
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -36,6 +47,7 @@ void log_line(LogLevel level, const std::string& message) {
   line += "] ";
   line += message;
   line += '\n';
+  MutexLock lock(stderr_mutex());
   std::fwrite(line.data(), 1, line.size(), stderr);
 }
 

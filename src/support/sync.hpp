@@ -1,0 +1,218 @@
+// Annotated synchronization layer: the only place in the codebase that may
+// name a std::mutex. Every other file locks through the wrappers below, so
+// Clang's Thread Safety Analysis (TSA, -Wthread-safety -Wthread-safety-beta,
+// errors under the -Werror presets) can prove lock discipline at compile
+// time: which lock guards which field (TANGLEFL_GUARDED_BY), which helper
+// assumes a lock is already held (TANGLEFL_REQUIRES), and which scope
+// acquires and releases what (TANGLEFL_ACQUIRE / TANGLEFL_RELEASE).
+//
+// On non-Clang compilers every annotation macro expands to nothing and the
+// wrappers are zero-cost forwards to the std primitives, so GCC builds are
+// unaffected. tools/lint.py enforces the source-level side:
+//   raw-mutex          — std::mutex / std::shared_mutex / std::lock_guard /
+//                        std::unique_lock / ... may appear only in this file.
+//   unannotated-guard  — every field of a class that owns a Mutex or
+//                        SharedMutex must be TANGLEFL_GUARDED_BY-annotated,
+//                        atomic, or carry a lint:allow(unannotated-guard)
+//                        justification.
+//
+// Conventions (see DESIGN.md "Static thread-safety"):
+//   * Lock with the RAII guards (MutexLock / ReaderLock / WriterLock);
+//     manual lock()/unlock() only where RAII cannot express the shape.
+//   * Condition predicates are explicit while-loops over guarded fields —
+//     TSA cannot see through a predicate lambda handed to a wait(), so
+//     CondVar deliberately has no predicate overload.
+//   * A private helper that touches guarded state without locking must be
+//     annotated TANGLEFL_REQUIRES(mutex_) and called only under the lock.
+//   * Never let a reference to guarded state escape the critical section
+//     unless the pointee is immutable and its storage is stable (document
+//     why at the call site); otherwise copy out under the lock.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Thread Safety Analysis attribute macros (no-ops outside Clang).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define TANGLEFL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TANGLEFL_THREAD_ANNOTATION(x)  // no-op: TSA is a Clang extension
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define TANGLEFL_CAPABILITY(x) TANGLEFL_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define TANGLEFL_SCOPED_CAPABILITY TANGLEFL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read/written while holding the named capability.
+#define TANGLEFL_GUARDED_BY(x) TANGLEFL_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the named capability.
+#define TANGLEFL_PT_GUARDED_BY(x) TANGLEFL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability (exclusive / shared) to be held on entry.
+#define TANGLEFL_REQUIRES(...) \
+  TANGLEFL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define TANGLEFL_REQUIRES_SHARED(...) \
+  TANGLEFL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusive / shared) and does not
+/// release it before returning.
+#define TANGLEFL_ACQUIRE(...) \
+  TANGLEFL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define TANGLEFL_ACQUIRE_SHARED(...) \
+  TANGLEFL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (generic release also ends shared holds).
+#define TANGLEFL_RELEASE(...) \
+  TANGLEFL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TANGLEFL_RELEASE_SHARED(...) \
+  TANGLEFL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `value`.
+#define TANGLEFL_TRY_ACQUIRE(value, ...) \
+  TANGLEFL_THREAD_ANNOTATION(try_acquire_capability(value, __VA_ARGS__))
+
+/// Function must NOT be called while holding the capability (deadlock guard
+/// for helpers that acquire it themselves).
+#define TANGLEFL_EXCLUDES(...) \
+  TANGLEFL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define TANGLEFL_RETURN_CAPABILITY(x) \
+  TANGLEFL_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Requires a comment
+/// explaining why the lock pattern cannot be expressed in annotations.
+#define TANGLEFL_NO_THREAD_SAFETY_ANALYSIS \
+  TANGLEFL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace tanglefl {
+
+// ---------------------------------------------------------------------------
+// Annotated primitives.
+// ---------------------------------------------------------------------------
+
+/// std::mutex with a TSA capability identity.
+class TANGLEFL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TANGLEFL_ACQUIRE() { raw_.lock(); }
+  void unlock() TANGLEFL_RELEASE() { raw_.unlock(); }
+  bool try_lock() TANGLEFL_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex raw_;
+};
+
+/// std::shared_mutex with a TSA capability identity: exclusive for writers,
+/// shared for readers.
+class TANGLEFL_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() TANGLEFL_ACQUIRE() { raw_.lock(); }
+  void unlock() TANGLEFL_RELEASE() { raw_.unlock(); }
+  bool try_lock() TANGLEFL_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+  void lock_shared() TANGLEFL_ACQUIRE_SHARED() { raw_.lock_shared(); }
+  void unlock_shared() TANGLEFL_RELEASE_SHARED() { raw_.unlock_shared(); }
+  bool try_lock_shared() TANGLEFL_TRY_ACQUIRE(true) {
+    return raw_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex raw_;
+};
+
+/// RAII exclusive lock on a Mutex (the std::scoped_lock replacement).
+class TANGLEFL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) TANGLEFL_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() TANGLEFL_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// RAII exclusive lock on a SharedMutex (the std::unique_lock replacement).
+class TANGLEFL_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mutex) TANGLEFL_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~WriterLock() TANGLEFL_RELEASE() { mutex_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class TANGLEFL_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mutex) TANGLEFL_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~ReaderLock() TANGLEFL_RELEASE() { mutex_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Condition variable bound to the annotated Mutex.
+///
+/// Deliberately predicate-free: TSA cannot analyze guarded-field reads
+/// inside a predicate lambda (the lambda is a separate function with no
+/// REQUIRES), so call sites spell the canonical loop explicitly:
+///
+///     MutexLock lock(mutex_);
+///     while (!condition_over_guarded_fields) cv_.wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex` (which the caller must hold), blocks until
+  /// notified, and reacquires it before returning.
+  void wait(Mutex& mutex) TANGLEFL_REQUIRES(mutex) {
+    // Adopt the already-held lock for the std wait protocol, then release
+    // the std::unique_lock's ownership claim so the Mutex stays held (as
+    // TSA assumes) when this returns.
+    std::unique_lock<std::mutex> adopted(mutex.raw_, std::adopt_lock);
+    raw_.wait(adopted);
+    adopted.release();
+  }
+
+  void notify_one() noexcept { raw_.notify_one(); }
+  void notify_all() noexcept { raw_.notify_all(); }
+
+ private:
+  std::condition_variable raw_;
+};
+
+}  // namespace tanglefl

@@ -53,7 +53,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() noexcept {
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -71,8 +71,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     QueuedTask task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit predicate loop (not a wait-with-lambda): TSA can only
+      // verify guarded reads it sees in this function body.
+      while (!stopping_ && tasks_.empty()) cv_.wait(mutex_);
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -93,7 +95,7 @@ void ThreadPool::parallel_for(std::size_t n,
   if (n == 0) return;
   obs::TraceScope span("pool.parallel_for");
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       throw std::runtime_error(
           "ThreadPool::parallel_for: pool is shut down; work rejected");
@@ -111,7 +113,7 @@ void ThreadPool::parallel_for(std::size_t n,
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
   auto first_error = std::make_shared<std::atomic<bool>>(false);
   std::exception_ptr error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
 
   // Lanes claim indices from the shared counter until exhaustion; the first
   // thrown exception flips first_error, which drains the remaining lanes.
@@ -122,7 +124,7 @@ void ThreadPool::parallel_for(std::size_t n,
       try {
         body(i);
       } catch (...) {
-        std::scoped_lock lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error->exchange(true)) error = std::current_exception();
         return;
       }
@@ -135,10 +137,20 @@ void ThreadPool::parallel_for(std::size_t n,
   const std::size_t lanes = std::min(workers_.size() + 1, n);
   std::vector<std::future<void>> pending;
   pending.reserve(lanes - 1);
-  for (std::size_t lane = 0; lane + 1 < lanes; ++lane) {
-    pending.push_back(submit(run_lane));
+  try {
+    for (std::size_t lane = 0; lane + 1 < lanes; ++lane) {
+      pending.push_back(submit(run_lane));
+    }
+    run_lane();
+  } catch (...) {
+    // A racing shutdown() can make submit() throw after earlier lanes were
+    // already enqueued. Those lanes reference this frame's error state and
+    // `body`, so unwinding before they finish would dangle; drain them
+    // (first_error short-circuits the index loop) before propagating.
+    first_error->store(true, std::memory_order_relaxed);
+    for (auto& f : pending) f.wait();
+    throw;
   }
-  run_lane();
   for (auto& f : pending) f.get();
   if (error) std::rethrow_exception(error);
 }

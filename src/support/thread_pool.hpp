@@ -22,16 +22,16 @@
 // inner loop.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "support/sync.hpp"
 
 namespace tanglefl {
 
@@ -73,7 +73,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
     {
-      std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) {
         throw std::runtime_error(
             "ThreadPool::submit: pool is shut down; task rejected");
@@ -104,11 +104,13 @@ class ThreadPool {
     std::uint64_t enqueue_us = 0;
   };
 
-  std::vector<std::thread> workers_;  // lint:allow(unlocked-mutation) set once in ctor, joined in shutdown
-  std::queue<QueuedTask> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  // lint:allow(unannotated-guard) set once in the ctor, joined (unlocked,
+  // join must not hold mutex_) in shutdown; never mutated in between.
+  std::vector<std::thread> workers_;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<QueuedTask> tasks_ TANGLEFL_GUARDED_BY(mutex_);
+  bool stopping_ TANGLEFL_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace tanglefl

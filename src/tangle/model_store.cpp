@@ -1,7 +1,6 @@
 #include "tangle/model_store.hpp"
 
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -50,7 +49,7 @@ ModelStore::AddResult ModelStore::add(nn::ParamVector params) {
   result.hash = hash_params(params);
   const std::string key = to_hex(result.hash);
 
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   if (const auto it = by_hash_.find(key); it != by_hash_.end()) {
     result.id = it->second;
     result.deduplicated = true;
@@ -65,7 +64,7 @@ ModelStore::AddResult ModelStore::add(nn::ParamVector params) {
 
 const nn::ParamVector& ModelStore::get(PayloadId id) const {
   get_counter().increment();
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   if (id >= entries_.size()) {
     throw std::out_of_range("ModelStore::get: unknown payload id");
   }
@@ -73,7 +72,7 @@ const nn::ParamVector& ModelStore::get(PayloadId id) const {
 }
 
 const Sha256Digest& ModelStore::hash_of(PayloadId id) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   if (id >= entries_.size()) {
     throw std::out_of_range("ModelStore::hash_of: unknown payload id");
   }
@@ -81,12 +80,12 @@ const Sha256Digest& ModelStore::hash_of(PayloadId id) const {
 }
 
 std::size_t ModelStore::size() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   return entries_.size();
 }
 
 void ModelStore::serialize(ByteWriter& writer) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   writer.write_u64(entries_.size());
   for (const auto& entry : entries_) {
     writer.write_f32_span(entry.params);
@@ -106,7 +105,7 @@ void ModelStore::deserialize_into(ByteReader& reader, ModelStore& store) {
 }
 
 std::size_t ModelStore::total_parameters() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   std::size_t total = 0;
   for (const auto& entry : entries_) total += entry.params.size();
   return total;

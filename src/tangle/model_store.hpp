@@ -7,11 +7,11 @@
 #pragma once
 
 #include <deque>
-#include <shared_mutex>
 #include <unordered_map>
 
 #include "nn/params.hpp"
 #include "support/sha256.hpp"
+#include "support/sync.hpp"
 #include "tangle/transaction.hpp"
 
 namespace tanglefl::tangle {
@@ -53,14 +53,17 @@ class ModelStore {
     Sha256Digest hash{};
   };
 
-  mutable std::shared_mutex mutex_;
+  mutable SharedMutex mutex_;
   // Deque, not vector: get()/hash_of() hand out references that must stay
   // valid while concurrent add() calls grow the store. A vector would
   // reallocate and dangle them (ThreadSanitizer catches exactly this under
   // tests/test_concurrency_stress.cpp); deque growth never moves existing
-  // entries.
-  std::deque<Entry> entries_;
-  std::unordered_map<std::string, PayloadId> by_hash_;  // hex hash -> id
+  // entries. Handing out those references is the one sanctioned escape of
+  // guarded state: entries are append-only and immutable once inserted.
+  std::deque<Entry> entries_ TANGLEFL_GUARDED_BY(mutex_);
+  // hex hash -> id
+  std::unordered_map<std::string, PayloadId> by_hash_
+      TANGLEFL_GUARDED_BY(mutex_);
 };
 
 }  // namespace tanglefl::tangle

@@ -232,50 +232,68 @@ std::shared_ptr<const ViewCacheEntry> ViewCache::get(const TangleView& view,
   const std::uint64_t mask_hash =
       mask_words.empty() ? 0 : hash_words(mask_words);
 
-  std::scoped_lock lock(mutex_);
-  // Defensive: a cache is bound to one Tangle instance; seeing another
-  // one (e.g. after a test reuses the cache) drops all entries.
-  if (tangle_ != &view.tangle()) {
-    tangle_ = &view.tangle();
-    slots_.clear();
-  }
-  ++tick_;
-  for (Slot& slot : slots_) {
-    if (slot.count == view.size() && slot.members == view.member_count() &&
-        slot.mask_hash == mask_hash && slot.mask_words == mask_words) {
-      slot.last_used = tick_;
-      hit_counter().increment();
-      return slot.entry;
+  // Displaced state (an evicted slot, or everything dropped on rebinding)
+  // is parked here and destroyed after the lock releases: a displaced
+  // entry can hold the last reference to O(n^2/64) bits of cone snapshot,
+  // and freeing that under mutex_ would stall every concurrent get().
+  std::vector<Slot> displaced;
+  std::shared_ptr<const ViewCacheEntry> result;
+  {
+    MutexLock lock(mutex_);
+    // Defensive: a cache is bound to one Tangle instance; seeing another
+    // one (e.g. after a test reuses the cache) drops all entries.
+    if (tangle_ != &view.tangle()) {
+      tangle_ = &view.tangle();
+      displaced.swap(slots_);
+    }
+    ++tick_;
+    for (Slot& slot : slots_) {
+      if (slot.count == view.size() && slot.members == view.member_count() &&
+          slot.mask_hash == mask_hash && slot.mask_words == mask_words) {
+        slot.last_used = tick_;
+        hit_counter().increment();
+        return slot.entry;
+      }
+    }
+    miss_counter().increment();
+    Slot slot;
+    slot.count = view.size();
+    slot.members = view.member_count();
+    slot.mask_hash = mask_hash;
+    slot.mask_words = mask_words;
+    // Built under the lock on purpose: a second thread asking for the same
+    // view blocks here and then *hits*, keeping the hit/miss counter
+    // sequence deterministic (build-outside-lock would double-miss).
+    slot.entry = ViewCacheEntry::build(view, pool);
+    slot.last_used = tick_;
+    if (capacity_ > 0 && slots_.size() >= capacity_) {
+      const auto oldest = std::min_element(
+          slots_.begin(), slots_.end(), [](const Slot& a, const Slot& b) {
+            return a.last_used < b.last_used;
+          });
+      eviction_counter().increment();
+      displaced.push_back(std::move(*oldest));
+      *oldest = std::move(slot);
+      result = oldest->entry;
+    } else {
+      slots_.push_back(std::move(slot));
+      result = slots_.back().entry;
     }
   }
-  miss_counter().increment();
-  Slot slot;
-  slot.count = view.size();
-  slot.members = view.member_count();
-  slot.mask_hash = mask_hash;
-  slot.mask_words = mask_words;
-  slot.entry = ViewCacheEntry::build(view, pool);
-  slot.last_used = tick_;
-  if (capacity_ > 0 && slots_.size() >= capacity_) {
-    const auto oldest = std::min_element(
-        slots_.begin(), slots_.end(), [](const Slot& a, const Slot& b) {
-          return a.last_used < b.last_used;
-        });
-    eviction_counter().increment();
-    *oldest = std::move(slot);
-    return oldest->entry;
-  }
-  slots_.push_back(std::move(slot));
-  return slots_.back().entry;
+  return result;
 }
 
 void ViewCache::clear() {
-  std::scoped_lock lock(mutex_);
-  slots_.clear();
+  // Swap out under the lock, destroy outside it (see get()).
+  std::vector<Slot> dropped;
+  {
+    MutexLock lock(mutex_);
+    dropped.swap(slots_);
+  }
 }
 
 std::size_t ViewCache::size() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return slots_.size();
 }
 

@@ -41,10 +41,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "support/sync.hpp"
 #include "tangle/tangle.hpp"
 
 namespace tanglefl {
@@ -127,11 +127,11 @@ class ViewCache {
     std::uint64_t last_used = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<Slot> slots_;         // guarded by mutex_
-  std::uint64_t tick_ = 0;          // guarded by mutex_
-  const Tangle* tangle_ = nullptr;  // guarded by mutex_
-  std::size_t capacity_;
+  mutable Mutex mutex_;
+  std::vector<Slot> slots_ TANGLEFL_GUARDED_BY(mutex_);
+  std::uint64_t tick_ TANGLEFL_GUARDED_BY(mutex_) = 0;
+  const Tangle* tangle_ TANGLEFL_GUARDED_BY(mutex_) = nullptr;
+  const std::size_t capacity_;  // lint:allow(unannotated-guard) immutable
 };
 
 }  // namespace tanglefl::tangle

@@ -9,14 +9,18 @@
 
 #include <atomic>
 #include <cstddef>
+#include <iterator>
 #include <thread>
 #include <vector>
 
+#include "core/eval_engine.hpp"
 #include "core/simulation.hpp"
 #include "data/femnist_synth.hpp"
 #include "nn/model_zoo.hpp"
+#include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "tangle/model_store.hpp"
+#include "tangle/view_cache.hpp"
 
 namespace tanglefl {
 namespace {
@@ -181,6 +185,107 @@ TEST(ConcurrencyStress, ParallelSimulationRoundMatchesSerial) {
               serial_sim.tangle().transaction(i).id)
         << "transaction " << i << " diverged across thread counts";
   }
+}
+
+// The two LRU caches (ViewCache cone entries, EvalEngine batched splits)
+// hammered from the same worker pool with a deliberate mix of hits, misses
+// and evictions: capacity 2 against a rotation of six prefixes, and a split
+// budget of two against a rotation of three splits. Under TSan this is the
+// regression net for the lock-layer restructure — outstanding shared_ptrs
+// must stay valid while other workers evict the slots they came from, and
+// every result must equal its serially computed expectation.
+TEST(ConcurrencyStress, ViewCacheAndEvalEngineSharedUnderOnePool) {
+  // A small random DAG, grown like the ViewCache unit-test fixture.
+  tangle::ModelStore ledger_store;
+  const auto genesis = ledger_store.add({0.0f});
+  tangle::Tangle tangle(genesis.id, genesis.hash);
+  Rng grow_rng(91);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const std::size_t n = tangle.size();
+    std::vector<tangle::TxIndex> parents = {
+        static_cast<tangle::TxIndex>(grow_rng.uniform_index(n))};
+    if (grow_rng.uniform() < 0.7) {
+      parents.push_back(
+          static_cast<tangle::TxIndex>(grow_rng.uniform_index(n)));
+    }
+    const auto added = ledger_store.add({static_cast<float>(i) + 1.0f});
+    tangle.add_transaction(parents, added.id, added.hash, i + 1);
+  }
+  const std::size_t prefixes[] = {10, 20, 30, 40, 50, 61};
+  std::vector<std::uint64_t> expected_cone_sum(std::size(prefixes), 0);
+  for (std::size_t p = 0; p < std::size(prefixes); ++p) {
+    for (const std::uint32_t c :
+         tangle.view_prefix(prefixes[p]).past_cone_sizes()) {
+      expected_cone_sum[p] += c;
+    }
+  }
+
+  // Three payloads evaluated against three rotating splits.
+  const auto factory = [] { return nn::make_mlp(2, 6, 2); };
+  tangle::ModelStore model_store;
+  std::vector<tangle::PayloadId> payloads;
+  std::vector<data::DataSplit> splits;
+  std::vector<double> expected_loss;
+  for (std::size_t k = 0; k < 3; ++k) {
+    nn::Model model = factory();
+    Rng init_rng(200 + k);
+    model.init(init_rng);
+    payloads.push_back(model_store.add(model.get_parameters()).id);
+
+    data::DataSplit split;
+    const std::size_t samples = 48;
+    split.features = nn::Tensor({samples, 2});
+    split.labels.resize(samples);
+    Rng data_rng(300 + k);
+    for (std::size_t i = 0; i < samples; ++i) {
+      split.features.at(i, 0) = static_cast<float>(data_rng.normal());
+      split.features.at(i, 1) = static_cast<float>(data_rng.normal());
+      split.labels[i] =
+          static_cast<std::int32_t>(data_rng.uniform_index(2));
+    }
+    splits.push_back(std::move(split));
+  }
+  for (std::size_t k = 0; k < 3; ++k) {
+    nn::Model model = factory();
+    model.set_parameters(model_store.get(payloads[k]));
+    expected_loss.push_back(data::evaluate(model, splits[k]).loss);
+  }
+
+  core::EvalEngineConfig engine_config;
+  {
+    core::EvalEngine probe(factory);
+    engine_config.batched_budget_bytes = 2 * probe.prepare(splits[0])->bytes();
+  }
+  core::EvalEngine engine(factory, engine_config);
+  tangle::ViewCache cache(2);
+
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> checksum{0};
+  constexpr std::size_t kIterations = 240;
+  pool.parallel_for(kIterations, [&](std::size_t i) {
+    // Cone-cache side: rotating prefixes overflow capacity 2 constantly.
+    // get() runs on the caller's thread (never pass a worker its own pool).
+    const std::size_t p = i % std::size(prefixes);
+    const auto entry = cache.get(tangle.view_prefix(prefixes[p]));
+    ASSERT_EQ(entry->view_size(), prefixes[p]);
+    std::uint64_t cone_sum = 0;
+    for (const std::uint32_t c : entry->past_cone_sizes()) cone_sum += c;
+    ASSERT_EQ(cone_sum, expected_cone_sum[p]);  // entry valid post-eviction
+
+    // Eval side: splits rotate through a budget of two, so every third
+    // prepare() rebuilds and evicts while other workers still hold the
+    // evicted BatchedSplit.
+    const std::size_t k = (i / 2) % 3;
+    const auto prepared = engine.prepare(splits[k]);
+    const auto outcome =
+        engine.payload_eval(model_store, payloads[k], *prepared);
+    ASSERT_EQ(outcome.result.loss, expected_loss[k]);
+    checksum.fetch_add(cone_sum + static_cast<std::uint64_t>(k),
+                       std::memory_order_relaxed);
+  });
+  EXPECT_GT(checksum.load(), 0u);
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(engine.cached_splits(), 2u);
 }
 
 }  // namespace

@@ -211,6 +211,50 @@ TEST(EvalEngine, PoolReusesInstancesUnderParallelFor) {
   EXPECT_EQ(engine.pool_size(), engine.models_created());  // all returned
 }
 
+TEST(EvalEngine, SplitLruEvictsOverBudgetAndKeepsOutstandingEntries) {
+  const data::DataSplit split_a = make_split(64, 101);
+  const data::DataSplit split_b = make_split(64, 102);
+  const data::DataSplit split_c = make_split(64, 103);
+
+  // All three splits have the same shape, hence the same retained bytes;
+  // a budget of exactly two of them makes the third insert evict the LRU.
+  std::size_t bytes_per = 0;
+  {
+    EvalEngine probe(mlp_factory());
+    bytes_per = probe.prepare(split_a)->bytes();
+  }
+  ASSERT_GT(bytes_per, 0u);
+  EvalEngineConfig config;
+  config.batched_budget_bytes = 2 * bytes_per;
+  EvalEngine engine(mlp_factory(), config);
+
+  const auto a = engine.prepare(split_a);
+  const auto b = engine.prepare(split_b);
+  EXPECT_EQ(engine.cached_splits(), 2u);
+  EXPECT_EQ(engine.prepare(split_a).get(), a.get());  // refresh a's LRU tick
+  const auto c = engine.prepare(split_c);             // over budget: b evicted
+  EXPECT_EQ(engine.cached_splits(), 2u);
+
+  // a was refreshed and survived; b was the LRU and is gone (a re-prepare
+  // rebuilds a distinct instance — `b` is still alive, so the address
+  // cannot be reused).
+  EXPECT_EQ(engine.prepare(split_a).get(), a.get());
+  EXPECT_NE(engine.prepare(split_b).get(), b.get());
+
+  // Regression for the eviction restructure: an outstanding reference to
+  // the evicted BatchedSplit stays fully usable (eviction only drops the
+  // cache's reference; destruction is deferred past the lock), and
+  // evaluating through it is still bit-exact.
+  nn::Model model = mlp_factory()();
+  Rng rng(33);
+  model.init(rng);
+  const data::EvalResult direct = data::evaluate(model, split_b);
+  const data::EvalResult via_evicted = engine.evaluate(model, *b);
+  EXPECT_EQ(direct.loss, via_evicted.loss);
+  EXPECT_EQ(direct.accuracy, via_evicted.accuracy);
+  (void)c;
+}
+
 // --- end-to-end byte-identity -------------------------------------------
 
 data::FederatedDataset small_dataset() {

@@ -284,6 +284,37 @@ TEST(ViewCache, EvictsLeastRecentlyUsed) {
   expect_entry_matches_view(f.tangle.view_prefix(20), *evicted);
 }
 
+TEST(ViewCache, OutstandingEntriesSurviveEvictionAndClear) {
+  // Regression for the deferred-destruction restructure: eviction, clear()
+  // and tangle rebinding only drop the cache's reference. An entry handed
+  // out earlier must stay fully usable through its shared_ptr.
+  Fixture f;
+  f.grow(40, /*seed=*/59);
+  ViewCache cache(2);
+  const auto a = cache.get(f.tangle.view_prefix(10));
+  const auto b = cache.get(f.tangle.view_prefix(20));
+  const auto c = cache.get(f.tangle.view_prefix(30));  // evicts the LRU (a)
+  EXPECT_EQ(cache.size(), 2u);
+  expect_entry_matches_view(f.tangle.view_prefix(10), *a);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  expect_entry_matches_view(f.tangle.view_prefix(20), *b);
+  expect_entry_matches_view(f.tangle.view_prefix(30), *c);
+}
+
+TEST(ViewCache, RebindingTangleKeepsOutstandingEntriesValid) {
+  Fixture f;
+  Fixture g;
+  f.grow(12, /*seed=*/61);
+  g.grow(12, /*seed=*/62);
+  ViewCache cache(4);
+  const auto from_f = cache.get(f.tangle.view());
+  (void)cache.get(g.tangle.view());  // rebinding drops f's entries
+  EXPECT_EQ(cache.size(), 1u);
+  expect_entry_matches_view(f.tangle.view(), *from_f);
+}
+
 TEST(ViewCache, GrowingLedgerChangesKeyNotEntry) {
   // Append-only invalidation: adding transactions must never mutate a
   // cached entry; the grown view simply has a different key.

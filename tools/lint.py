@@ -20,11 +20,6 @@ Rules (scoped to src/core and src/tangle unless noted):
                          allocation history, so any fold over it is
                          nondeterministic. Lookups are fine; iterate a
                          sorted or insertion-ordered structure instead.
-  unlocked-mutation      (any file that #includes <thread>) A member field
-                         that is a sibling of a std::mutex/shared_mutex in
-                         its class is mutated in a function body that never
-                         acquires a lock. Heuristic, but catches the "wrote
-                         to the queue outside the lock" class of race.
   banned-clock           (every linted file outside src/support) Direct
                          std::chrono clock reads (*_clock::now()) are
                          forbidden; go through Stopwatch /
@@ -36,9 +31,37 @@ Rules (scoped to src/core and src/tangle unless noted):
                          translation unit: kernels run per minibatch, so
                          scratch must come from an ops::Workspace (reused
                          arena), never a fresh heap allocation.
+  raw-mutex              (all of src/) std::mutex, std::shared_mutex,
+                         std::condition_variable, and the std lock guards
+                         (lock_guard/unique_lock/scoped_lock/shared_lock)
+                         may appear only in src/support/sync.hpp. Everything
+                         else locks through the TSA-annotated wrappers
+                         (Mutex/SharedMutex/CondVar/MutexLock/ReaderLock/
+                         WriterLock) so Clang's Thread Safety Analysis sees
+                         every acquisition.
+  unannotated-guard      (all of src/) Inside a class that owns a Mutex or
+                         SharedMutex wrapper, every other data member must
+                         be TANGLEFL_GUARDED_BY / TANGLEFL_PT_GUARDED_BY
+                         annotated, a std::atomic, static/constexpr, or
+                         carry a lint:allow(unannotated-guard) comment
+                         stating why it needs no lock (immutable after
+                         construction, single-thread confined, ...).
+  include-order          (all of src/) Each contiguous block of #include
+                         directives must be lexicographically sorted, the
+                         convention clang-format's include sorter would
+                         enforce; keeps diffs clean and makes accidental
+                         duplicate includes visible.
+
+The pre-TSA "unlocked-mutation" heuristic (mutating a mutex-sibling field
+in a lock-free function body) is retired: with every lock flowing through
+the annotated wrappers and every guarded field carrying GUARDED_BY, Clang's
+-Wthread-safety proves that property exactly instead of approximately, and
+raw-mutex + unannotated-guard keep the annotations load-bearing.
 
 Suppress a finding with a trailing comment naming the rule:
     foo();  // lint:allow(unordered-iteration) reason...
+For unannotated-guard the comment may also sit on its own line directly
+above the member declaration.
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage error.
 """
@@ -49,7 +72,7 @@ import argparse
 import os
 import re
 import sys
-from typing import Dict, List, NamedTuple, Set
+from typing import Dict, List, NamedTuple, Optional, Set
 
 DETERMINISM_DIRS = (
     os.path.join("src", "core"),
@@ -69,6 +92,10 @@ BANNED_RANDOM = [
 ]
 
 SUPPORT_DIR = os.path.join("src", "support")
+SRC_DIR = "src"
+
+# The one file allowed to name the std synchronization primitives.
+SYNC_FILE = os.path.join("src", "support", "sync.hpp")
 
 # The kernel translation unit: all scratch must come through ops::Workspace.
 OPS_FILE = os.path.join("src", "nn", "ops.cpp")
@@ -90,18 +117,36 @@ BANNED_CLOCK_RE = re.compile(
     r"\s*::\s*now\s*\("
 )
 
+RAW_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"shared_timed_mutex|recursive_timed_mutex|condition_variable|"
+    r"condition_variable_any|scoped_lock|lock_guard|unique_lock|"
+    r"shared_lock)\b"
+)
+
 UNORDERED_DECL_RE = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+(\w+)\s*[;{=]"
 )
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;)]*?[\s&*]([\w.\->]+)\s*\)\s*\{?")
 
-MUTEX_MEMBER_RE = re.compile(
-    r"(?:mutable\s+)?std::(?:shared_|recursive_)?mutex\s+(\w+)\s*;"
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"][^>"]+[>"])')
+
+# A member declaration of one of the annotated lock wrappers — the signal
+# that a class's fields fall under the unannotated-guard rule. CondVar is a
+# sync primitive, not shared state, so it is exempt alongside the locks.
+LOCK_MEMBER_RE = re.compile(
+    r"^(?:mutable\s+)?(?:tanglefl::)?(?:Mutex|SharedMutex)\s+\w+$"
 )
-MEMBER_DECL_RE = re.compile(r"^\s*(?:mutable\s+)?[\w:<>,\s*&]+?\s(\w+_)\s*(?:=[^;]*)?;\s*(?://.*)?$")
-LOCK_RE = re.compile(
-    r"\bstd::(?:scoped_lock|unique_lock|lock_guard|shared_lock)\b"
+SYNC_PRIMITIVE_MEMBER_RE = re.compile(
+    r"^(?:mutable\s+)?(?:tanglefl::)?(?:Mutex|SharedMutex|CondVar)\s+\w+$"
 )
+GUARD_ANNOTATION_RE = re.compile(r"\bTANGLEFL_(?:PT_)?GUARDED_BY\s*\([^)]*\)")
+ACCESS_SPECIFIER_RE = re.compile(r"\b(?:public|private|protected)\s*:(?!:)")
+FIELD_NAME_RE = re.compile(
+    r"[\w>\]&*]\s+([A-Za-z_]\w*)\s*(?:=[^;]*|\{[^{}]*\})?$"
+)
+CLASS_HEAD_RE = re.compile(r"\b(class|struct)\b[^;={}]*$")
+ENUM_HEAD_RE = re.compile(r"\benum\b[^;{}]*$")
 
 
 class Finding(NamedTuple):
@@ -143,6 +188,16 @@ def in_determinism_scope(path: str) -> bool:
     return any(d in norm for d in DETERMINISM_DIRS)
 
 
+def in_src_scope(path: str) -> bool:
+    norm = os.path.normpath(path)
+    return (SRC_DIR + os.sep) in norm or norm.startswith(SRC_DIR + os.sep)
+
+
+def is_file(path: str, target: str) -> bool:
+    norm = os.path.normpath(path)
+    return norm == target or norm.endswith(os.sep + target)
+
+
 def check_banned_random(path: str, lines: List[str]) -> List[Finding]:
     findings = []
     for lineno, raw in enumerate(lines, 1):
@@ -175,9 +230,7 @@ def check_banned_clock(path: str, lines: List[str]) -> List[Finding]:
 
 
 def check_ops_allocation(path: str, lines: List[str]) -> List[Finding]:
-    if os.path.normpath(path) != OPS_FILE and not os.path.normpath(
-        path
-    ).endswith(os.sep + OPS_FILE):
+    if not is_file(path, OPS_FILE):
         return []
     findings = []
     for lineno, raw in enumerate(lines, 1):
@@ -190,12 +243,27 @@ def check_ops_allocation(path: str, lines: List[str]) -> List[Finding]:
     return findings
 
 
-def collect_unordered_names(lines: List[str]) -> Set[str]:
-    names = set()
-    for raw in lines:
-        for m in UNORDERED_DECL_RE.finditer(strip_comments_and_strings(raw)):
-            names.add(m.group(1))
-    return names
+def check_raw_mutex(path: str, lines: List[str]) -> List[Finding]:
+    """std sync primitives are confined to src/support/sync.hpp."""
+    if not in_src_scope(path) or is_file(path, SYNC_FILE):
+        return []
+    findings = []
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        if RAW_MUTEX_RE.search(code) and not is_suppressed(raw, "raw-mutex"):
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "raw-mutex",
+                    "std synchronization primitive outside "
+                    "src/support/sync.hpp; use the TSA-annotated wrappers "
+                    "(Mutex/SharedMutex/CondVar/MutexLock/ReaderLock/"
+                    "WriterLock) so Clang's thread-safety analysis sees the "
+                    "acquisition",
+                )
+            )
+    return findings
 
 
 def check_unordered_iteration(
@@ -223,94 +291,149 @@ def check_unordered_iteration(
     return findings
 
 
-def guarded_members(header_lines: List[str]) -> Set[str]:
-    """Member fields declared in any class that also declares a mutex.
-
-    Heuristic: within a class body that contains a std::*mutex member, every
-    other `name_;` member is considered guarded by it unless its declaration
-    carries a lint:allow(unlocked-mutation) comment (for members that are
-    atomic, immutable after construction, or confined to one thread).
-    """
-    guarded: Set[str] = set()
-    text = "\n".join(header_lines)
-    # Split on class/struct boundaries; good enough for this codebase's
-    # one-class-per-header style.
-    for chunk in re.split(r"\b(?:class|struct)\s+\w+", text)[1:]:
-        mutexes = MUTEX_MEMBER_RE.findall(chunk)
-        if not mutexes:
-            continue
-        for line in chunk.splitlines():
-            if "lint:allow(unlocked-mutation)" in line:
-                continue
-            if "std::atomic" in line or "static " in line.lstrip():
-                continue
-            dm = MEMBER_DECL_RE.match(line)
-            if dm and dm.group(1) not in mutexes:
-                guarded.add(dm.group(1))
-    return guarded
+def collect_unordered_names(lines: List[str]) -> Set[str]:
+    names = set()
+    for raw in lines:
+        for m in UNORDERED_DECL_RE.finditer(strip_comments_and_strings(raw)):
+            names.add(m.group(1))
+    return names
 
 
-MUTATION_RE_TEMPLATE = (
-    r"(?:\b{name}\s*(?:=[^=]|\+=|-=|\*=|/=)"  # assignment
-    r"|\b{name}\s*\.\s*(?:push|pop|emplace|insert|erase|clear|resize|assign|swap)\w*\s*\("
-    r"|\+\+\s*{name}\b|--\s*{name}\b|\b{name}\s*\+\+|\b{name}\s*--)"
-)
-
-
-def function_bodies(lines: List[str]):
-    """Yields (start_line, body_lines) for each top-level brace block that
-    looks like a function definition. Heuristic brace matching."""
-    i = 0
-    n = len(lines)
-    while i < n:
-        code = strip_comments_and_strings(lines[i])
-        if re.search(r"\)\s*(const)?\s*(noexcept)?\s*\{", code) and not re.match(
-            r"\s*(if|for|while|switch|catch)\b", code
-        ):
-            depth = code.count("{") - code.count("}")
-            start = i
-            body = [lines[i]]
-            i += 1
-            while i < n and depth > 0:
-                c = strip_comments_and_strings(lines[i])
-                depth += c.count("{") - c.count("}")
-                body.append(lines[i])
-                i += 1
-            yield start + 1, body
-        else:
-            i += 1
-
-
-def check_unlocked_mutation(
-    path: str, lines: List[str], guarded: Set[str]
-) -> List[Finding]:
-    if not guarded:
+def check_include_order(path: str, lines: List[str]) -> List[Finding]:
+    """Each contiguous #include block must be lexicographically sorted."""
+    if not in_src_scope(path):
         return []
     findings = []
-    mutation_res = {
-        name: re.compile(MUTATION_RE_TEMPLATE.format(name=re.escape(name)))
-        for name in guarded
-    }
-    for start, body in function_bodies(lines):
-        body_code = [strip_comments_and_strings(l) for l in body]
-        holds_lock = any(LOCK_RE.search(c) for c in body_code)
-        if holds_lock:
+    prev: Optional[str] = None
+    prev_line = 0
+    for lineno, raw in enumerate(lines, 1):
+        m = INCLUDE_RE.match(strip_comments_and_strings(raw))
+        if not m:
+            prev = None  # any non-include line ends the block
             continue
-        for offset, (raw, code) in enumerate(zip(body, body_code)):
-            for name, pattern in mutation_res.items():
-                if pattern.search(code) and not is_suppressed(
-                    raw, "unlocked-mutation"
-                ):
-                    findings.append(
-                        Finding(
-                            path,
-                            start + offset,
-                            "unlocked-mutation",
-                            f"'{name}' is guarded by a mutex in its class "
-                            "but this function mutates it without acquiring "
-                            "a lock",
-                        )
-                    )
+        current = m.group(1)
+        if prev is not None and current < prev and not is_suppressed(
+            raw, "include-order"
+        ):
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "include-order",
+                    f"include {current} sorts before {prev} (line "
+                    f"{prev_line}); keep each include block "
+                    "lexicographically sorted",
+                )
+            )
+        prev = current
+        prev_line = lineno
+    return findings
+
+
+class _ClassScope:
+    """One class/struct body while scanning for unannotated-guard."""
+
+    def __init__(self) -> None:
+        self.owns_lock = False
+        # (lineno, member name) for members that lack annotation/exemption.
+        self.unannotated: List[tuple] = []
+
+
+def _classify_member(statement: str) -> Optional[str]:
+    """Returns the member name if `statement` (annotation-stripped, no
+    trailing ';') declares a plain data member, else None."""
+    text = statement.strip()
+    if not text or "(" in text:
+        return None  # function/constructor declaration (or empty)
+    first = text.split(None, 1)[0]
+    if first in ("using", "typedef", "friend", "static", "constexpr",
+                 "enum", "template", "operator", "return"):
+        return None
+    m = FIELD_NAME_RE.search(text)
+    return m.group(1) if m else None
+
+
+def check_unannotated_guard(path: str, lines: List[str]) -> List[Finding]:
+    """Every field of a class owning a Mutex/SharedMutex must be annotated,
+    atomic, static, or carry lint:allow(unannotated-guard)."""
+    if not in_src_scope(path):
+        return []
+    findings: List[Finding] = []
+    # Scope stack: each entry is a _ClassScope for class bodies or None for
+    # any other brace scope (function body, namespace, enum, initializer).
+    stack: List[Optional[_ClassScope]] = []
+    buffer = ""            # statement text accumulated at the current scope
+    buffer_start = 0       # line the current statement began on
+    pending_allow = False  # lint:allow on a comment line above the member
+    pending_guarded = False
+    pending_atomic = False
+
+    def innermost_class() -> Optional[_ClassScope]:
+        return stack[-1] if stack and isinstance(stack[-1], _ClassScope) else None
+
+    def finish_statement(end_line: int) -> None:
+        nonlocal buffer, pending_allow, pending_guarded, pending_atomic
+        scope = innermost_class()
+        text = buffer.strip()
+        buffer = ""
+        allow = pending_allow
+        guarded = pending_guarded or bool(GUARD_ANNOTATION_RE.search(text))
+        atomic = pending_atomic or "std::atomic" in text
+        pending_allow = pending_guarded = pending_atomic = False
+        if scope is None or not text:
+            return
+        stripped = GUARD_ANNOTATION_RE.sub("", text).strip().rstrip(";").strip()
+        if SYNC_PRIMITIVE_MEMBER_RE.match(stripped):
+            if LOCK_MEMBER_RE.match(stripped):
+                scope.owns_lock = True
+            return
+        name = _classify_member(stripped)
+        if name is None:
+            return
+        if guarded or atomic or allow:
+            return
+        scope.unannotated.append((end_line, name))
+
+    for lineno, raw in enumerate(lines, 1):
+        if is_suppressed(raw, "unannotated-guard"):
+            pending_allow = True
+        code = strip_comments_and_strings(raw)
+        code = ACCESS_SPECIFIER_RE.sub("", code)
+        if buffer == "":
+            buffer_start = lineno
+        for ch in code:
+            if ch == "{":
+                head = buffer.strip()
+                if CLASS_HEAD_RE.search(head) and not ENUM_HEAD_RE.search(head):
+                    stack.append(_ClassScope())
+                else:
+                    stack.append(None)
+                buffer = ""
+                # annotations seen in a method signature die with the buffer
+                pending_guarded = pending_atomic = False
+            elif ch == "}":
+                buffer = ""
+                if stack:
+                    closed = stack.pop()
+                    if isinstance(closed, _ClassScope) and closed.owns_lock:
+                        for member_line, name in closed.unannotated:
+                            findings.append(
+                                Finding(
+                                    path,
+                                    member_line,
+                                    "unannotated-guard",
+                                    f"member '{name}' in a class owning a "
+                                    "Mutex/SharedMutex is neither "
+                                    "TANGLEFL_GUARDED_BY-annotated, atomic, "
+                                    "nor lint:allow(unannotated-guard) "
+                                    "justified",
+                                )
+                            )
+            elif ch == ";":
+                finish_statement(lineno)
+            else:
+                buffer += ch
+        buffer += " "  # line break separates tokens
     return findings
 
 
@@ -325,6 +448,9 @@ def lint_file(path: str, header_cache: Dict[str, List[str]]) -> List[Finding]:
 
     findings += check_banned_clock(path, lines)
     findings += check_ops_allocation(path, lines)
+    findings += check_raw_mutex(path, lines)
+    findings += check_unannotated_guard(path, lines)
+    findings += check_include_order(path, lines)
 
     if in_determinism_scope(path):
         findings += check_banned_random(path, lines)
@@ -341,45 +467,7 @@ def lint_file(path: str, header_cache: Dict[str, List[str]]) -> List[Finding]:
                 extra = collect_unordered_names(header_cache[header])
         findings += check_unordered_iteration(path, lines, extra)
 
-    joined = "\n".join(strip_comments_and_strings(l) for l in lines)
-    if re.search(r'#\s*include\s*<thread>', joined):
-        root, ext = os.path.splitext(path)
-        guard_sources = [lines]
-        if ext in (".cpp", ".cc", ".cxx") and os.path.exists(root + ".hpp"):
-            header = root + ".hpp"
-            if header not in header_cache:
-                with open(header, encoding="utf-8", errors="replace") as fh:
-                    header_cache[header] = fh.read().splitlines()
-            guard_sources.append(header_cache[header])
-        guarded: Set[str] = set()
-        for src in guard_sources:
-            guarded |= guarded_members(src)
-        findings += check_unlocked_mutation(path, lines, guarded)
-    elif ext_includes_thread_via_header(path, header_cache):
-        root, _ = os.path.splitext(path)
-        header = root + ".hpp"
-        guarded = guarded_members(header_cache[header])
-        findings += check_unlocked_mutation(path, lines, guarded)
-
     return findings
-
-
-def ext_includes_thread_via_header(
-    path: str, header_cache: Dict[str, List[str]]
-) -> bool:
-    root, ext = os.path.splitext(path)
-    if ext not in (".cpp", ".cc", ".cxx"):
-        return False
-    header = root + ".hpp"
-    if not os.path.exists(header):
-        return False
-    if header not in header_cache:
-        with open(header, encoding="utf-8", errors="replace") as fh:
-            header_cache[header] = fh.read().splitlines()
-    return any(
-        re.search(r'#\s*include\s*<thread>', strip_comments_and_strings(l))
-        for l in header_cache[header]
-    )
 
 
 def gather_files(paths: List[str]) -> List[str]:
@@ -409,6 +497,11 @@ def main() -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the success message"
     )
+    parser.add_argument(
+        "--report", metavar="PATH",
+        help="also write the findings (or the all-clean line) to this file, "
+        "e.g. for upload as a CI artifact",
+    )
     args = parser.parse_args()
 
     header_cache: Dict[str, List[str]] = {}
@@ -417,14 +510,26 @@ def main() -> int:
     for path in files:
         findings += lint_file(path, header_cache)
 
-    for f in sorted(findings):
-        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    report_lines = [
+        f"{f.path}:{f.line}: [{f.rule}] {f.message}" for f in sorted(findings)
+    ]
+    for line in report_lines:
+        print(line)
+    summary = (
+        f"lint.py: {len(findings)} finding(s) in {len(files)} file(s)"
+        if findings
+        else f"lint.py: OK ({len(files)} files clean)"
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            for line in report_lines:
+                fh.write(line + "\n")
+            fh.write(summary + "\n")
     if findings:
-        print(f"lint.py: {len(findings)} finding(s) in {len(files)} file(s)",
-              file=sys.stderr)
+        print(summary, file=sys.stderr)
         return 1
     if not args.quiet:
-        print(f"lint.py: OK ({len(files)} files clean)")
+        print(summary)
     return 0
 
 
