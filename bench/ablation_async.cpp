@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
   round_config.node = node;
   round_config.seed = seed;
   round_config.use_eval_cache = eval_cache;
+  round_config.timeline = bench_run.timeline();
   const core::RunResult round_run = [&] {
     auto timer = bench_run.phase("round-based");
     return core::run_tangle_learning(dataset, factory, round_config,
@@ -108,6 +109,8 @@ int main(int argc, char** argv) {
     config.node = node;
     config.seed = seed;
     config.use_eval_cache = eval_cache;
+    config.timeline = bench_run.timeline();
+    if (config.timeline != nullptr) config.timeline->begin_run(variant.name);
 
     core::AsyncTangleSimulation simulation(dataset, factory, config);
     core::RunResult run = [&] {

@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
     config.backdoor_boost = cell.boost;
     config.seed = seed;
     config.threads = threads;
+    config.timeline = bench_run.timeline();
 
     const std::string label = "p=" + format_fixed(cell.fraction, 1) +
                               " boost=" + format_fixed(cell.boost, 0);

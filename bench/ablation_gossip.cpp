@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
   reference_config.node = node;
   reference_config.seed = seed;
   reference_config.use_eval_cache = eval_cache;
+  reference_config.timeline = bench_run.timeline();
   const core::RunResult reference = [&] {
     auto timer = bench_run.phase("full-replication");
     return core::run_tangle_learning(dataset, factory, reference_config,
@@ -100,6 +101,8 @@ int main(int argc, char** argv) {
     config.node = node;
     config.seed = seed;
     config.use_eval_cache = eval_cache;
+    config.timeline = bench_run.timeline();
+    if (config.timeline != nullptr) config.timeline->begin_run(variant.name);
 
     core::GossipSimulation simulation(dataset, factory, config);
     core::RunResult run = [&] {

@@ -80,6 +80,7 @@ int main(int argc, char** argv) {
     config.node.dp.noise_multiplier = variant.noise;
     config.seed = seed;
     config.threads = threads;
+    config.timeline = bench_run.timeline();
 
     const core::RunResult run = [&] {
       auto timer = bench_run.phase(variant.name);

@@ -84,6 +84,7 @@ int main(int argc, char** argv) {
       config.seed = seed;
       config.threads = threads;
       config.use_eval_cache = eval_cache;
+      config.timeline = bench_run.timeline();
 
       const core::RunResult run = [&] {
         auto timer = bench_run.phase("alpha-sweep");

@@ -13,6 +13,7 @@
 #include "core/metrics.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "core/simulation.hpp"
 #include "data/femnist_synth.hpp"
@@ -129,7 +130,11 @@ class BenchRun {
             "run-manifest JSON output path (empty to skip)")),
         trace_path_(args.get_string(
             "trace", "",
-            "Chrome trace_event JSON output path (empty = tracing off)")) {
+            "Chrome trace_event JSON output path (empty = tracing off)")),
+        timeline_path_(args.get_string(
+            "timeline", "",
+            "per-round time-series JSONL output path (empty = off; a .csv "
+            "sibling is written next to it)")) {
     manifest_.name = std::move(name);
   }
 
@@ -184,6 +189,13 @@ class BenchRun {
 
   double seconds() const { return total_.seconds(); }
 
+  /// Timeline sink for engine configs (SimulationConfig::timeline etc.);
+  /// null when --timeline was not given, which keeps all health probing
+  /// disabled.
+  obs::Timeline* timeline() noexcept {
+    return timeline_path_.empty() ? nullptr : &timeline_;
+  }
+
   /// Flushes the trace, writes the manifest (full metric snapshot included)
   /// and prints the wall-time summary line.
   void finish(std::ostream& out) {
@@ -205,14 +217,37 @@ class BenchRun {
         out << "(failed to write run manifest " << manifest_path_ << ")\n";
       }
     }
+    if (!timeline_path_.empty() && !timeline_.empty()) {
+      const std::string csv_path = timeline_csv_path(timeline_path_);
+      if (timeline_.write_jsonl(timeline_path_) &&
+          timeline_.write_csv(csv_path)) {
+        out << "(timeline written to " << timeline_path_ << " and "
+            << csv_path << ")\n";
+      } else {
+        out << "(failed to write timeline " << timeline_path_ << ")\n";
+      }
+    }
     out << "total wall time: " << format_fixed(manifest_.total_seconds, 1)
         << "s\n";
   }
 
  private:
+  /// `foo.jsonl` -> `foo.csv`; anything else gets `.csv` appended.
+  static std::string timeline_csv_path(const std::string& jsonl_path) {
+    const std::string suffix = ".jsonl";
+    if (jsonl_path.size() > suffix.size() &&
+        jsonl_path.compare(jsonl_path.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+      return jsonl_path.substr(0, jsonl_path.size() - suffix.size()) + ".csv";
+    }
+    return jsonl_path + ".csv";
+  }
+
   obs::RunManifest manifest_;
   std::string manifest_path_;
   std::string trace_path_;
+  std::string timeline_path_;
+  obs::Timeline timeline_;
   // std::map: node-based, so the double& held by a live ScopedTimer stays
   // valid as more phases are added.
   std::map<std::string, double> phase_seconds_;

@@ -95,6 +95,7 @@ int main(int argc, char** argv) {
     base.seed = seed;
     base.threads = threads;
     base.kernel_threads = kernel_threads;
+    base.timeline = run.timeline();
 
     // Unoptimized: 2 tips, single consensus model (Section V-A, first trial).
     core::SimulationConfig plain = base;

@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
   tangle_config.seed = seed;
   tangle_config.threads = threads;
   tangle_config.kernel_threads = kernel_threads;
+  tangle_config.timeline = run.timeline();
   const core::RunResult tangle_run = [&] {
     auto timer = run.phase("tangle");
     return core::run_tangle_learning(dataset, factory, tangle_config,

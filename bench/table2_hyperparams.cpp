@@ -93,6 +93,7 @@ int main(int argc, char** argv) {
         config.node.reference.num_reference_models = references;
         config.seed = seed;
         config.threads = threads;
+        config.timeline = bench_run.timeline();
 
         const core::RunResult run = [&] {
           auto timer = bench_run.phase("tangle-sweep");

@@ -74,6 +74,12 @@ AsyncTangleSimulation::AsyncTangleSimulation(
         return tangle::Tangle(added.id, added.hash);
       }()),
       eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}) {
+  if (config_.timeline != nullptr) {
+    // Ledger time is microseconds here; the orphan age arrives in seconds.
+    config_.health.orphan_age = to_micros(config_.health_orphan_age_seconds);
+    health_ = std::make_unique<tangle::HealthTracker>(config_.health);
+    timeline_sampler_ = std::make_unique<obs::RegistrySampler>();
+  }
   const std::size_t num_users = dataset_->num_users();
   const auto malicious_count = static_cast<std::size_t>(
       config_.malicious_fraction * static_cast<double>(num_users) + 0.5);
@@ -110,6 +116,15 @@ RoundRecord AsyncTangleSimulation::evaluate(double now) {
   record.suppressed_cumulative = stats_.abstained + stats_.lost;
   record.ledger_bytes = store_.total_parameters() * sizeof(float);
   async_ledger_bytes_gauge().set(static_cast<double>(record.ledger_bytes));
+
+  if (config_.timeline != nullptr) {
+    const tangle::TangleView full = tangle_.view();
+    const std::shared_ptr<const tangle::ViewCacheEntry> cones =
+        config_.use_view_cache ? view_cache_.get(full) : nullptr;
+    Rng health_rng = master_rng_.split(streams::kHealth).split(to_micros(now));
+    health_->sample(full, cones.get(), to_micros(now), health_rng);
+    timeline_sampler_->sample(*config_.timeline, record.round);
+  }
 
   const std::size_t num_users = dataset_->num_users();
   const auto eval_users = std::max<std::size_t>(
@@ -290,6 +305,7 @@ RunResult run_async_tangle_learning(const data::FederatedDataset& dataset,
                                     nn::ModelFactory factory,
                                     const AsyncSimulationConfig& config,
                                     std::string label) {
+  if (config.timeline != nullptr) config.timeline->begin_run(label);
   AsyncTangleSimulation simulation(dataset, std::move(factory), config);
   RunResult result = simulation.run();
   result.label = std::move(label);

@@ -54,6 +54,14 @@ struct AsyncSimulationConfig {
   // Cache loss-probe results across probes and wakeups in the shared eval
   // engine; byte-identical outputs either way (core/eval_engine.hpp).
   bool use_eval_cache = true;
+
+  // Optional per-round time-series sink; rows are keyed by whole simulated
+  // seconds and sampled at every evaluation instant. Ledger time here is
+  // microseconds, so HealthConfig::orphan_age is overridden from
+  // health_orphan_age_seconds at construction.
+  obs::Timeline* timeline = nullptr;
+  tangle::HealthConfig health;
+  double health_orphan_age_seconds = 5.0;
 };
 
 struct AsyncStats {
@@ -100,6 +108,10 @@ class AsyncTangleSimulation {
   tangle::ViewCache view_cache_{4};
   // Shared loss-probe engine (cache + model pool + pre-batched splits).
   EvalEngine eval_engine_;
+
+  // Timeline mode only; null otherwise.
+  std::unique_ptr<tangle::HealthTracker> health_;
+  std::unique_ptr<obs::RegistrySampler> timeline_sampler_;
 
   std::vector<std::size_t> malicious_users_;
   std::vector<data::UserData> poisoned_users_;

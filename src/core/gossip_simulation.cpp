@@ -41,6 +41,12 @@ obs::Gauge& gossip_ledger_bytes_gauge() {
   return gauge;
 }
 
+obs::Gauge& gossip_coverage_gauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::global().gauge("gossip.coverage");
+  return gauge;
+}
+
 nn::ParamVector make_genesis_params(const nn::ModelFactory& factory,
                                     Rng rng) {
   nn::Model model = factory();
@@ -64,6 +70,10 @@ GossipSimulation::GossipSimulation(const data::FederatedDataset& dataset,
         return tangle::Tangle(added.id, added.hash);
       }()),
       eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}) {
+  if (config_.timeline != nullptr) {
+    health_ = std::make_unique<tangle::HealthTracker>(config_.health);
+    timeline_sampler_ = std::make_unique<obs::RegistrySampler>();
+  }
   const std::size_t num_users = dataset_->num_users();
   assert(num_users >= 2);
 
@@ -179,6 +189,19 @@ std::size_t GossipSimulation::run_round(std::uint64_t round) {
     ++stats_.published;
     gossip_published_counter().increment();
   }
+
+  gossip_ledger_bytes_gauge().set(
+      static_cast<double>(store_.total_parameters() * sizeof(float)));
+  if (config_.timeline != nullptr) {
+    // Health over the global ledger (union of replicas): the true DAG.
+    gossip_coverage_gauge().set(mean_coverage());
+    const tangle::TangleView view = tangle_.view();
+    const std::shared_ptr<const tangle::ViewCacheEntry> cones =
+        config_.use_view_cache ? view_cache_.get(view) : nullptr;
+    Rng health_rng = master_rng_.split(streams::kHealth).split(round);
+    health_->sample(view, cones.get(), round, health_rng);
+    timeline_sampler_->sample(*config_.timeline, round);
+  }
   return published;
 }
 
@@ -256,6 +279,7 @@ RunResult run_gossip_tangle_learning(const data::FederatedDataset& dataset,
                                      nn::ModelFactory factory,
                                      const GossipConfig& config,
                                      std::string label) {
+  if (config.timeline != nullptr) config.timeline->begin_run(label);
   GossipSimulation simulation(dataset, std::move(factory), config);
   RunResult result = simulation.run();
   result.label = std::move(label);

@@ -18,12 +18,15 @@
 // consensus quality degrades under partial views.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/eval_engine.hpp"
 #include "core/metrics.hpp"
 #include "core/node.hpp"
 #include "data/poison.hpp"
+#include "obs/timeline.hpp"
+#include "tangle/health.hpp"
 
 namespace tanglefl::core {
 
@@ -51,6 +54,12 @@ struct GossipConfig {
   // Cache loss-probe results across probes and rounds in the shared eval
   // engine; byte-identical outputs either way (core/eval_engine.hpp).
   bool use_eval_cache = true;
+
+  // Optional per-round time-series sink (see obs/timeline.hpp). Health is
+  // probed over the full global ledger — the union of all replicas — so
+  // orphan/tip series describe the true DAG, not one partial view.
+  obs::Timeline* timeline = nullptr;
+  tangle::HealthConfig health;
 };
 
 struct GossipStats {
@@ -106,6 +115,10 @@ class GossipSimulation {
   tangle::ViewCache view_cache_{16};
   // Shared loss-probe engine (cache + model pool + pre-batched splits).
   EvalEngine eval_engine_;
+
+  // Timeline mode only; null otherwise.
+  std::unique_ptr<tangle::HealthTracker> health_;
+  std::unique_ptr<obs::RegistrySampler> timeline_sampler_;
 };
 
 /// Convenience wrapper mirroring run_tangle_learning.

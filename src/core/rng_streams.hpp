@@ -30,6 +30,7 @@ inline constexpr std::uint64_t kWake = 0xa57c;         // async Poisson wakeups
 inline constexpr std::uint64_t kLoss = 0x105e;         // async publish loss trials
 inline constexpr std::uint64_t kTopology = 0x70b0;     // gossip peer graph
 inline constexpr std::uint64_t kPull = 0x9055;         // gossip pull failures
+inline constexpr std::uint64_t kHealth = 0x6ea7;       // DAG health-probe walks
 
 // Node-internal streams, split off the per-step NodeContext rng.
 inline constexpr std::uint64_t kWalk = 0x71b5;          // tip-selection walks
@@ -42,10 +43,10 @@ inline constexpr std::uint64_t kTiming = 0x717e;        // async training durati
 
 /// Every stream constant above, for the pairwise-distinctness regression
 /// test. Keep in sync when adding a stream.
-inline constexpr std::array<std::uint64_t, 17> kAllStreams = {
+inline constexpr std::array<std::uint64_t, 18> kAllStreams = {
     kParticipant, kNode,  kEval,     kConsensus, kGenesis,     kMalicious,
-    kWake,        kLoss,  kTopology, kPull,      kWalk,        kReference,
-    kTrain,       kDp,    kPoisonNoise, kBackdoorData, kTiming,
+    kWake,        kLoss,  kTopology, kPull,      kHealth,      kWalk,
+    kReference,   kTrain, kDp,       kPoisonNoise, kBackdoorData, kTiming,
 };
 
 }  // namespace tanglefl::core::streams

@@ -74,6 +74,11 @@ TangleSimulation::TangleSimulation(const data::FederatedDataset& dataset,
       eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}) {
   if (config_.auto_confidence_samples) {
     config_.node.reference.confidence.sample_rounds = config_.nodes_per_round;
+    config_.health.confidence.sample_rounds = config_.nodes_per_round;
+  }
+  if (config_.timeline != nullptr) {
+    health_ = std::make_unique<tangle::HealthTracker>(config_.health);
+    timeline_sampler_ = std::make_unique<obs::RegistrySampler>();
   }
 
   // Declare a fixed random subset of users malicious.
@@ -105,8 +110,24 @@ bool TangleSimulation::is_malicious(std::size_t user) const noexcept {
                             user);
 }
 
+void TangleSimulation::probe_health(std::uint64_t round) {
+  const tangle::TangleView view = tangle_.view();
+  const std::shared_ptr<const tangle::ViewCacheEntry> cones =
+      config_.use_view_cache ? view_cache_.get(view, &pool_) : nullptr;
+  // Dedicated stream: probing must never perturb simulation randomness, so
+  // timeline runs stay bit-identical to probe-free runs.
+  Rng rng = master_rng_.split(streams::kHealth).split(round);
+  health_->sample(view, cones.get(), round, rng);
+}
+
 std::size_t TangleSimulation::run_round(std::uint64_t round) {
   obs::TraceScope span("sim.round");
+  // Samples registry deltas into the timeline when the round body closes,
+  // after the health probe below has refreshed the health gauges.
+  std::optional<obs::RoundScope> round_scope;
+  if (config_.timeline != nullptr) {
+    round_scope.emplace(*timeline_sampler_, *config_.timeline, round);
+  }
   assert(round >= 1);
   const std::size_t num_users = dataset_->num_users();
   const std::size_t participants =
@@ -209,6 +230,9 @@ std::size_t TangleSimulation::run_round(std::uint64_t round) {
   published_counter().add(published);
   published_malicious_counter().add(malicious_published);
   suppressed_counter().add(suppressed);
+  ledger_bytes_gauge().set(
+      static_cast<double>(store_.total_parameters() * sizeof(float)));
+  if (config_.timeline != nullptr) probe_health(round);
   return published;
 }
 
@@ -305,6 +329,7 @@ RunResult run_tangle_learning(const data::FederatedDataset& dataset,
                               nn::ModelFactory factory,
                               const SimulationConfig& config,
                               std::string label) {
+  if (config.timeline != nullptr) config.timeline->begin_run(label);
   TangleSimulation simulation(dataset, std::move(factory), config);
   RunResult result = simulation.run();
   result.label = std::move(label);

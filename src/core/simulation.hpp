@@ -14,7 +14,9 @@
 #include "core/metrics.hpp"
 #include "core/node.hpp"
 #include "data/poison.hpp"
+#include "obs/timeline.hpp"
 #include "support/thread_pool.hpp"
+#include "tangle/health.hpp"
 #include "tangle/view_cache.hpp"
 
 namespace tanglefl::core {
@@ -71,8 +73,16 @@ struct SimulationConfig {
   // Paper: "we set the number of sampling rounds for establishing the
   // consensus and for selecting the parent tips for training equal to the
   // number of active nodes per round". When true, confidence sampling
-  // rounds are forced to nodes_per_round.
+  // rounds are forced to nodes_per_round (health probes included).
   bool auto_confidence_samples = true;
+
+  // Optional per-round time-series sink (see obs/timeline.hpp). When set,
+  // the engine probes DAG health (tips, orphans, approval depth,
+  // first-approval / confirmation latency) and snapshots registry deltas
+  // at every round barrier; null keeps all probing off. The pointed-to
+  // timeline must outlive the run.
+  obs::Timeline* timeline = nullptr;
+  tangle::HealthConfig health;
 };
 
 class TangleSimulation {
@@ -108,6 +118,9 @@ class TangleSimulation {
   bool attack_active(std::uint64_t round) const noexcept;
   bool is_malicious(std::size_t user) const noexcept;
 
+  /// Runs the DAG health probe over the full ledger (timeline mode only).
+  void probe_health(std::uint64_t round);
+
   /// Full Algorithm 1 result over the current ledger (transactions,
   /// payload ids, averaged params) — consensus_params() returns its params.
   ReferenceResult consensus_reference();
@@ -128,6 +141,11 @@ class TangleSimulation {
   // Shared loss-probe engine: payload-loss cache, model pool, pre-batched
   // validation splits. All node steps and round-record evals go through it.
   EvalEngine eval_engine_;
+
+  // Timeline mode (config_.timeline != nullptr) only; null otherwise so
+  // the default path pays nothing for the probes.
+  std::unique_ptr<tangle::HealthTracker> health_;
+  std::unique_ptr<obs::RegistrySampler> timeline_sampler_;
 
   std::vector<std::size_t> malicious_users_;    // sorted user indices
   std::vector<data::UserData> poisoned_users_;  // parallel to malicious_users_

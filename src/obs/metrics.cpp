@@ -130,6 +130,37 @@ void Histogram::reset() noexcept {
   max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
 }
 
+double bucket_quantile(const std::vector<double>& upper_bounds,
+                       const std::vector<std::uint64_t>& bucket_counts,
+                       double q, double lo, double hi) noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : bucket_counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double remaining = q * static_cast<double>(total);
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const auto in_bucket = static_cast<double>(bucket_counts[i]);
+    if (in_bucket == 0.0) continue;
+    if (remaining <= in_bucket) {
+      // Anchor the first occupied edge at `lo` and the overflow bucket at
+      // `hi`; interior edges come straight from the layout.
+      double bucket_lo = i == 0 ? lo : upper_bounds[i - 1];
+      double bucket_hi = i < upper_bounds.size() ? upper_bounds[i] : hi;
+      bucket_lo = std::min(bucket_lo, bucket_hi);
+      return bucket_lo + (remaining / in_bucket) * (bucket_hi - bucket_lo);
+    }
+    remaining -= in_bucket;
+  }
+  return hi;
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  // min/max are order-independent, so quantiles of a deterministic snapshot
+  // are themselves deterministic.
+  const double value = bucket_quantile(upper_bounds, bucket_counts, q, min, max);
+  return std::clamp(value, min, max);
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
   return registry;
@@ -193,7 +224,8 @@ MetricsSnapshot MetricsRegistry::snapshot(SnapshotKind kind) const {
     if (entry.counter) {
       snap.counters.push_back({name, entry.counter->value(), entry.timing});
     } else if (entry.gauge) {
-      snap.gauges.push_back({name, entry.gauge->value(), entry.timing});
+      snap.gauges.push_back({name, entry.gauge->value(),
+                             entry.gauge->updates(), entry.timing});
     } else if (entry.histogram) {
       const Histogram& hist = *entry.histogram;
       HistogramSnapshot h;
@@ -258,9 +290,17 @@ void MetricsSnapshot::write(JsonWriter& writer) const {
     writer.value(h.max);
     if (kind == SnapshotKind::kFull) {
       // Parallel double accumulation is order-dependent; the sum only
-      // appears in full (manifest) snapshots.
+      // appears in full (manifest) snapshots. Quantiles are deterministic
+      // but stay full-only so deterministic snapshots remain byte-identical
+      // to their historical form.
       writer.key("sum");
       writer.value(h.sum);
+      writer.key("p50");
+      writer.value(h.quantile(0.50));
+      writer.key("p90");
+      writer.value(h.quantile(0.90));
+      writer.key("p99");
+      writer.value(h.quantile(0.99));
     }
     writer.key("buckets");
     writer.begin_array();

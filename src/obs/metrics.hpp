@@ -51,12 +51,25 @@ class Counter {
 /// evaluation barrier.
 class Gauge {
  public:
-  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+    updates_.fetch_add(1, std::memory_order_relaxed);
+  }
   double value() const noexcept { return value_.load(std::memory_order_relaxed); }
-  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+  /// Number of set() calls since construction/reset. Lets samplers tell a
+  /// gauge that was genuinely written from one merely registered (lazy
+  /// registration makes the registered set depend on process history).
+  std::uint64_t updates() const noexcept {
+    return updates_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    value_.store(0.0, std::memory_order_relaxed);
+    updates_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<double> value_{0.0};
+  std::atomic<std::uint64_t> updates_{0};
 };
 
 /// Fixed bucket layout: strictly increasing upper bounds with an implicit
@@ -110,6 +123,8 @@ struct CounterSnapshot {
 struct GaugeSnapshot {
   std::string name;
   double value = 0.0;
+  /// set() calls so far; carried for samplers, never serialized.
+  std::uint64_t updates = 0;
   bool timing = false;
 };
 
@@ -122,7 +137,22 @@ struct HistogramSnapshot {
   double min = 0.0;
   double max = 0.0;
   bool timing = false;
+
+  /// Quantile estimate (q in [0, 1]) by linear interpolation within the
+  /// bucket containing rank q * count. Exact at bucket edges, approximate
+  /// inside; the first bucket is anchored at `min` and the overflow bucket
+  /// at `max`, so p0 == min and p100 == max. Returns 0.0 when empty.
+  double quantile(double q) const noexcept;
 };
+
+/// Shared bucket-quantile estimator over Prometheus-style "le" buckets:
+/// bucket i spans (upper_bounds[i-1], upper_bounds[i]]; bucket 0 is anchored
+/// below at `lo` and the overflow bucket above at `hi`. Works on any bucket
+/// count vector (e.g. per-round deltas of two snapshots), not just whole
+/// histograms. Returns 0.0 when the counts sum to zero.
+double bucket_quantile(const std::vector<double>& upper_bounds,
+                       const std::vector<std::uint64_t>& bucket_counts,
+                       double q, double lo, double hi) noexcept;
 
 class JsonWriter;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -14,9 +15,27 @@ namespace {
 std::atomic<TraceSink*> g_sink{nullptr};
 std::atomic<bool> g_timing_enabled{false};
 
+// atexit safety net: a run that calls std::exit() mid-phase (CLI error
+// paths, benchmark --help) would otherwise drop every buffered span because
+// the attached sink's destructor never runs. Detach first so TraceScope
+// destructors racing with exit do not record into a sink being flushed.
+void flush_attached_sink_at_exit() {
+  TraceSink* sink = trace_sink();
+  if (sink == nullptr) return;
+  set_trace_sink(nullptr);
+  if (!sink->flush()) {
+    std::fprintf(stderr, "[error] failed to write trace file at exit: %s\n",
+                 sink->path().c_str());
+  }
+}
+
 }  // namespace
 
 void set_trace_sink(TraceSink* sink) noexcept {
+  if (sink != nullptr) {
+    static const int atexit_rc = std::atexit(flush_attached_sink_at_exit);
+    (void)atexit_rc;
+  }
   g_sink.store(sink, std::memory_order_release);
 }
 
@@ -84,10 +103,50 @@ bool TraceSink::flush() {
     return std::strcmp(a.name, b.name) < 0;
   });
 
+  // chrome://tracing and Perfetto label rows from "M" (metadata) events;
+  // emit one process_name plus a thread_name per distinct ordinal so spans
+  // are not shown as anonymous tids.
+  std::vector<std::uint32_t> ordinals;
+  ordinals.reserve(events.size());
+  for (const Event& event : events) ordinals.push_back(event.thread_ordinal);
+  std::sort(ordinals.begin(), ordinals.end());
+  ordinals.erase(std::unique(ordinals.begin(), ordinals.end()),
+                 ordinals.end());
+
   JsonWriter writer(0);
   writer.begin_object();
   writer.key("traceEvents");
   writer.begin_array();
+  writer.begin_object();
+  writer.key("name");
+  writer.value("process_name");
+  writer.key("ph");
+  writer.value("M");
+  writer.key("pid");
+  writer.value(std::uint64_t{1});
+  writer.key("args");
+  writer.begin_object();
+  writer.key("name");
+  writer.value("tanglefl");
+  writer.end_object();
+  writer.end_object();
+  for (const std::uint32_t ordinal : ordinals) {
+    writer.begin_object();
+    writer.key("name");
+    writer.value("thread_name");
+    writer.key("ph");
+    writer.value("M");
+    writer.key("pid");
+    writer.value(std::uint64_t{1});
+    writer.key("tid");
+    writer.value(static_cast<std::uint64_t>(ordinal));
+    writer.key("args");
+    writer.begin_object();
+    writer.key("name");
+    writer.value(ordinal == 0 ? "main" : ("worker-" + std::to_string(ordinal)));
+    writer.end_object();
+    writer.end_object();
+  }
   for (const Event& event : events) {
     writer.begin_object();
     writer.key("name");

@@ -51,6 +51,14 @@ Rules (scoped to src/core and src/tangle unless noted):
                          convention clang-format's include sorter would
                          enforce; keeps diffs clean and makes accidental
                          duplicate includes visible.
+  metric-name            (all of src/) Every registry.counter()/gauge()/
+                         histogram() registration must pass a string literal
+                         matching the lowercase dotted `component.metric`
+                         convention ([a-z0-9_] segments joined by '.', at
+                         least two segments). Runtime-concatenated names
+                         fragment the timeline/report schema and defeat
+                         grep; a sanctioned dynamic-name helper carries
+                         lint:allow(metric-name) stating why.
 
 The pre-TSA "unlocked-mutation" heuristic (mutating a mutex-sibling field
 in a lock-free function body) is retired: with every lock flowing through
@@ -130,6 +138,14 @@ UNORDERED_DECL_RE = re.compile(
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;)]*?[\s&*]([\w.\->]+)\s*\)\s*\{?")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"][^>"]+[>"])')
+
+# A metric registration: `<expr>.counter(` / `.gauge(` / `.histogram(`.
+# Matched against stripped code so comments can mention the methods freely;
+# the name literal itself is then read back from the raw line because
+# strip_comments_and_strings empties string contents.
+METRIC_CALL_RE = re.compile(r"\.\s*(counter|gauge|histogram)\s*\(")
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+$")
+METRIC_LITERAL_RE = re.compile(r'^"([^"]*)"')
 
 # A member declaration of one of the annotated lock wrappers — the signal
 # that a class's fields fall under the unannotated-guard rule. CondVar is a
@@ -261,6 +277,65 @@ def check_raw_mutex(path: str, lines: List[str]) -> List[Finding]:
                     "(Mutex/SharedMutex/CondVar/MutexLock/ReaderLock/"
                     "WriterLock) so Clang's thread-safety analysis sees the "
                     "acquisition",
+                )
+            )
+    return findings
+
+
+def check_metric_name(path: str, lines: List[str]) -> List[Finding]:
+    """Metric registrations use literal lowercase dotted names."""
+    if not in_src_scope(path):
+        return []
+    findings = []
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        m = METRIC_CALL_RE.search(code)
+        if m is None or is_suppressed(raw, "metric-name"):
+            continue
+        kind = m.group(1)
+        # Read the first argument from the raw text (the stripped line has
+        # empty string contents). Wrapped argument lists continue on the
+        # following lines.
+        raw_m = METRIC_CALL_RE.search(raw)
+        tail = raw[raw_m.end():] if raw_m else ""
+        join = lineno  # 0-based index of the next line to pull in
+        suppressed = False
+        while True:
+            stripped_tail = tail.lstrip()
+            if stripped_tail and not stripped_tail.startswith("//"):
+                break
+            if join >= len(lines):
+                stripped_tail = ""
+                break
+            tail = lines[join]
+            if is_suppressed(tail, "metric-name"):
+                suppressed = True
+            join += 1
+        if suppressed:
+            continue
+        literal = METRIC_LITERAL_RE.match(stripped_tail)
+        if literal is None:
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "metric-name",
+                    f"{kind}() name is not a string literal; metric names "
+                    "must be greppable registered literals (a sanctioned "
+                    "dynamic-name helper carries lint:allow(metric-name))",
+                )
+            )
+            continue
+        name = literal.group(1)
+        if not METRIC_NAME_RE.match(name):
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "metric-name",
+                    f'metric name "{name}" violates the lowercase dotted '
+                    "component.metric convention ([a-z0-9_] segments joined "
+                    "by '.', at least two segments)",
                 )
             )
     return findings
@@ -451,6 +526,7 @@ def lint_file(path: str, header_cache: Dict[str, List[str]]) -> List[Finding]:
     findings += check_raw_mutex(path, lines)
     findings += check_unannotated_guard(path, lines)
     findings += check_include_order(path, lines)
+    findings += check_metric_name(path, lines)
 
     if in_determinism_scope(path):
         findings += check_banned_random(path, lines)

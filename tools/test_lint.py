@@ -359,6 +359,80 @@ class DeterminismRulesTest(LintFixtureTest):
         self.assert_quiet("src/nn/layers.cpp", bad, "ops-allocation")
 
 
+class MetricNameTest(LintFixtureTest):
+    def test_quiet_on_conventional_names(self):
+        self.assert_quiet(
+            "src/core/sim.cpp",
+            'auto& c = obs::MetricsRegistry::global().counter("sim.rounds");\n'
+            'auto& g = registry.gauge("tangle.health.tip_count");\n'
+            'auto& h = registry.histogram("nn.gemm.dims", layout);\n',
+            "metric-name",
+        )
+
+    def test_fires_on_bad_casing_and_shape(self):
+        self.assert_fires(
+            "src/core/sim.cpp",
+            'auto& c = registry.counter("SimRounds");\n'
+            'auto& g = registry.gauge("single_segment");\n'
+            'auto& h = registry.histogram("sim..rounds");\n',
+            "metric-name",
+            count=3,
+        )
+
+    def test_fires_on_runtime_concatenated_name(self):
+        self.assert_fires(
+            "src/core/sim.cpp",
+            'auto& c = registry.counter("sim." + phase);\n',
+            "metric-name",
+        )
+
+    def test_literal_on_continuation_line(self):
+        # The prevailing style wraps the argument list, so the literal sits
+        # on the line after `.histogram(`.
+        self.assert_quiet(
+            "src/nn/ops.cpp",
+            "static obs::Histogram& hist = "
+            "obs::MetricsRegistry::global().histogram(\n"
+            '    "nn.gemm.dims", layout);\n',
+            "metric-name",
+        )
+        self.assert_fires(
+            "src/nn/ops.cpp",
+            "static obs::Histogram& hist = "
+            "obs::MetricsRegistry::global().histogram(\n"
+            '    "BadName", layout);\n',
+            "metric-name",
+        )
+
+    def test_respects_allow_on_call_and_continuation_line(self):
+        self.assert_quiet(
+            "src/core/sim.cpp",
+            "auto& c = registry.counter(name);"
+            "  // lint:allow(metric-name) per-shard helper\n",
+            "metric-name",
+        )
+        self.assert_quiet(
+            "src/core/sim.cpp",
+            "auto& c = registry.counter(\n"
+            "    name);  // lint:allow(metric-name) per-shard helper\n",
+            "metric-name",
+        )
+
+    def test_comment_mention_does_not_fire(self):
+        self.assert_quiet(
+            "src/core/sim.cpp",
+            '// see registry.counter("whatever") for the pattern\n',
+            "metric-name",
+        )
+
+    def test_quiet_outside_src(self):
+        self.assert_quiet(
+            "tests/test_metrics.cpp",
+            'auto& c = registry.counter("BadName");\n',
+            "metric-name",
+        )
+
+
 class CliTest(LintFixtureTest):
     """End-to-end: exit codes and --report, via the real CLI."""
 
