@@ -73,7 +73,8 @@ AsyncTangleSimulation::AsyncTangleSimulation(
             factory_, master_rng_.split(streams::kGenesis)));
         return tangle::Tangle(added.id, added.hash);
       }()),
-      eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}) {
+      eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}),
+      pruner_(config.prune) {
   if (config_.timeline != nullptr) {
     // Ledger time is microseconds here; the orphan age arrives in seconds.
     config_.health.orphan_age = to_micros(config_.health_orphan_age_seconds);
@@ -116,6 +117,23 @@ RoundRecord AsyncTangleSimulation::evaluate(double now) {
   record.suppressed_cumulative = stats_.abstained + stats_.lost;
   record.ledger_bytes = store_.total_parameters() * sizeof(float);
   async_ledger_bytes_gauge().set(static_cast<double>(record.ledger_bytes));
+
+  // Milestone pruning at the evaluation instant. Every later wake trains on
+  // at least the prefix that had propagated by now - network_delay (wakes
+  // are processed in time order and evals run before the wake they precede),
+  // so the frontier is clamped strictly below that visible count and stays
+  // inside every future horizon view.
+  if (config_.prune.enabled && config_.use_view_cache && pruner_.tick() &&
+      now > config_.network_delay_seconds) {
+    const std::size_t visible = tangle_.visible_count_for_round(
+        to_micros(now - config_.network_delay_seconds) + 1);
+    if (visible > 1) {
+      const std::shared_ptr<const tangle::ViewCacheEntry> prune_cones =
+          view_cache_.get(tangle_.view());
+      pruner_.advance(tangle_, store_, *prune_cones, prune_cones->tips(),
+                      visible - 1);
+    }
+  }
 
   if (config_.timeline != nullptr) {
     const tangle::TangleView full = tangle_.view();

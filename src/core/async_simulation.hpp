@@ -55,6 +55,12 @@ struct AsyncSimulationConfig {
   // engine; byte-identical outputs either way (core/eval_engine.hpp).
   bool use_eval_cache = true;
 
+  // Milestone pruning, checked at evaluation instants and clamped so the
+  // frontier never outruns the slowest in-flight view horizon (see
+  // tangle/milestones.hpp). Requires use_view_cache; disabled (the
+  // default), outputs are byte-identical to prior versions.
+  tangle::MilestoneConfig prune;
+
   // Optional per-round time-series sink; rows are keyed by whole simulated
   // seconds and sampled at every evaluation instant. Ledger time here is
   // microseconds, so HealthConfig::orphan_age is overridden from
@@ -84,6 +90,7 @@ class AsyncTangleSimulation {
   RunResult run();
 
   const tangle::Tangle& tangle() const noexcept { return tangle_; }
+  const tangle::ModelStore& store() const noexcept { return store_; }
   const AsyncStats& stats() const noexcept { return stats_; }
 
   /// Consensus accuracy as seen at simulated time `now`.
@@ -108,6 +115,7 @@ class AsyncTangleSimulation {
   tangle::ViewCache view_cache_{4};
   // Shared loss-probe engine (cache + model pool + pre-batched splits).
   EvalEngine eval_engine_;
+  tangle::MilestoneTracker pruner_;
 
   // Timeline mode only; null otherwise.
   std::unique_ptr<tangle::HealthTracker> health_;

@@ -70,12 +70,16 @@ namespace {
 /// identically (see tangle/tip_selection.cpp for the same pattern).
 template <typename ApproversFn>
 tangle::TxIndex biased_walk_to_tip(const tangle::TangleView& view,
+                                   tangle::TxIndex start,
                                    std::span<const std::uint32_t> future_cones,
                                    ApproversFn&& approvers_of,
                                    LocalLossCache& cache, Rng& rng,
                                    const BiasedWalkConfig& config) {
   biased_walk_counter().increment();
-  tangle::TxIndex current = view.tangle().genesis();
+  // Prune frontier under milestone pruning, genesis otherwise; loss probes
+  // only ever touch approvers of walked nodes, which all lie in the live
+  // window, so released payloads are never fetched.
+  tangle::TxIndex current = start;
   std::vector<double> weights;
   std::uint64_t steps = 0;
   for (;;) {
@@ -119,7 +123,7 @@ tangle::TxIndex biased_random_walk_tip(
     std::span<const std::uint32_t> future_cones, LocalLossCache& cache,
     Rng& rng, const BiasedWalkConfig& config) {
   return biased_walk_to_tip(
-      view, future_cones,
+      view, view.tangle().prune_floor(), future_cones,
       [&view](tangle::TxIndex i) { return view.approvers(i); }, cache, rng,
       config);
 }
@@ -129,7 +133,7 @@ tangle::TxIndex biased_random_walk_tip(const tangle::TangleView& view,
                                        LocalLossCache& cache, Rng& rng,
                                        const BiasedWalkConfig& config) {
   return biased_walk_to_tip(
-      view, cones.future_cone_sizes(),
+      view, cones.root(), cones.future_cone_sizes(),
       [&cones](tangle::TxIndex i) { return cones.approvers(i); }, cache, rng,
       config);
 }

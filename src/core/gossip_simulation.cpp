@@ -69,7 +69,8 @@ GossipSimulation::GossipSimulation(const data::FederatedDataset& dataset,
             factory_, master_rng_.split(streams::kGenesis)));
         return tangle::Tangle(added.id, added.hash);
       }()),
-      eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}) {
+      eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}),
+      pruner_(config.prune) {
   if (config_.timeline != nullptr) {
     health_ = std::make_unique<tangle::HealthTracker>(config_.health);
     timeline_sampler_ = std::make_unique<obs::RegistrySampler>();
@@ -188,6 +189,24 @@ std::size_t GossipSimulation::run_round(std::uint64_t round) {
     ++published;
     ++stats_.published;
     gossip_published_counter().increment();
+  }
+
+  // Milestone pruning under partial views: the milestone must sit in the
+  // past cone of EVERY replica's tips, so the required set is the union of
+  // all replica tip sets. Any replica still stuck at the genesis keeps the
+  // frontier where it is until gossip catches it up.
+  if (config_.prune.enabled && config_.use_view_cache && pruner_.tick()) {
+    std::vector<tangle::TxIndex> required_tips;
+    for (std::size_t u = 0; u < num_users; ++u) {
+      const std::vector<tangle::TxIndex> tips = replica_view(u).tips();
+      required_tips.insert(required_tips.end(), tips.begin(), tips.end());
+    }
+    std::sort(required_tips.begin(), required_tips.end());
+    required_tips.erase(
+        std::unique(required_tips.begin(), required_tips.end()),
+        required_tips.end());
+    pruner_.advance(tangle_, store_, *view_cache_.get(tangle_.view()),
+                    required_tips);
   }
 
   gossip_ledger_bytes_gauge().set(

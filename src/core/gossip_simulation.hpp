@@ -27,6 +27,7 @@
 #include "data/poison.hpp"
 #include "obs/timeline.hpp"
 #include "tangle/health.hpp"
+#include "tangle/milestones.hpp"
 
 namespace tanglefl::core {
 
@@ -54,6 +55,14 @@ struct GossipConfig {
   // Cache loss-probe results across probes and rounds in the shared eval
   // engine; byte-identical outputs either way (core/eval_engine.hpp).
   bool use_eval_cache = true;
+
+  // Milestone pruning. The milestone must be covered by the union of all
+  // replica tip sets, so a replica lagging at the genesis blocks any
+  // advance until gossip catches it up; once the frontier moves, it is an
+  // ancestor of every replica (replicas are ancestor-closed), so masked
+  // walks rooted at it stay valid. Requires use_view_cache; disabled (the
+  // default), outputs are byte-identical to prior versions.
+  tangle::MilestoneConfig prune;
 
   // Optional per-round time-series sink (see obs/timeline.hpp). Health is
   // probed over the full global ledger — the union of all replicas — so
@@ -89,6 +98,7 @@ class GossipSimulation {
   double mean_coverage() const;
 
   const tangle::Tangle& tangle() const noexcept { return tangle_; }
+  const tangle::ModelStore& store() const noexcept { return store_; }
   const GossipStats& stats() const noexcept { return stats_; }
   const std::vector<std::size_t>& peers(std::size_t node) const {
     return peers_.at(node);
@@ -115,6 +125,7 @@ class GossipSimulation {
   tangle::ViewCache view_cache_{16};
   // Shared loss-probe engine (cache + model pool + pre-batched splits).
   EvalEngine eval_engine_;
+  tangle::MilestoneTracker pruner_;
 
   // Timeline mode only; null otherwise.
   std::unique_ptr<tangle::HealthTracker> health_;

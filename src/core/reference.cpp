@@ -45,13 +45,20 @@ ReferenceResult choose_reference_impl(const tangle::TangleView& view,
   // Top-k over confidence * rating, exactly as in Algorithm 1. Ties (e.g.
   // the all-zero priorities right after genesis) resolve to the newest
   // transaction so early rounds track fresh training results.
+  //
+  // Milestone pruning: frozen history is excluded from candidacy — its
+  // payloads may have been released and its confidence/rating are pinned
+  // approximations. Zeroed priorities plus the newest-index tie-breaking
+  // keep every selected index in the live window; `take` is clamped to the
+  // window so a frozen transaction can never be forced in.
+  const tangle::TxIndex floor = view.tangle().prune_floor();
   std::vector<double> priorities(view.size());
   for (tangle::TxIndex i = 0; i < view.size(); ++i) {
-    priorities[i] = confidences[i] * ratings[i];
+    priorities[i] = i < floor ? 0.0 : confidences[i] * ratings[i];
   }
-  const std::size_t take =
-      std::max<std::size_t>(1, std::min(config.num_reference_models,
-                                        view.size()));
+  const std::size_t take = std::max<std::size_t>(
+      1, std::min({config.num_reference_models, view.size(),
+                   view.size() - floor}));
 
   ReferenceResult result;
   result.transactions = top_priority_indices(priorities, take);

@@ -71,7 +71,8 @@ TangleSimulation::TangleSimulation(const data::FederatedDataset& dataset,
       kernel_pool_(config.kernel_threads > 1
                        ? std::make_unique<ThreadPool>(config.kernel_threads)
                        : nullptr),
-      eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}) {
+      eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}),
+      pruner_(config.prune) {
   if (config_.auto_confidence_samples) {
     config_.node.reference.confidence.sample_rounds = config_.nodes_per_round;
     config_.health.confidence.sample_rounds = config_.nodes_per_round;
@@ -230,6 +231,14 @@ std::size_t TangleSimulation::run_round(std::uint64_t round) {
   published_counter().add(published);
   published_malicious_counter().add(malicious_published);
   suppressed_counter().add(suppressed);
+  // Milestone pruning at the round barrier: every participant of this round
+  // already trained, and the frontier only ever advances onto history every
+  // later view contains. Walk roots come from cache entries, so pruning
+  // requires the view cache.
+  if (config_.prune.enabled && config_.use_view_cache && pruner_.tick()) {
+    const tangle::TangleView full = tangle_.view();
+    pruner_.advance(tangle_, store_, *view_cache_.get(full, &pool_));
+  }
   ledger_bytes_gauge().set(
       static_cast<double>(store_.total_parameters() * sizeof(float)));
   if (config_.timeline != nullptr) probe_health(round);

@@ -17,6 +17,7 @@
 #include "obs/timeline.hpp"
 #include "support/thread_pool.hpp"
 #include "tangle/health.hpp"
+#include "tangle/milestones.hpp"
 #include "tangle/view_cache.hpp"
 
 namespace tanglefl::core {
@@ -75,6 +76,15 @@ struct SimulationConfig {
   // number of active nodes per round". When true, confidence sampling
   // rounds are forced to nodes_per_round (health probes included).
   bool auto_confidence_samples = true;
+
+  // Milestone pruning (see tangle/milestones.hpp): at every prune.interval
+  // round barriers the engine looks for a transaction approved by every
+  // current tip, freezes the cone below it, and releases frozen ModelStore
+  // payloads. Bounds walk depth and payload memory for long runs at the
+  // cost of the documented frozen-history approximations. Requires
+  // use_view_cache (walk roots ride on cache entries); disabled (the
+  // default), every output stays byte-identical to prior versions.
+  tangle::MilestoneConfig prune;
 
   // Optional per-round time-series sink (see obs/timeline.hpp). When set,
   // the engine probes DAG health (tips, orphans, approval depth,
@@ -141,6 +151,7 @@ class TangleSimulation {
   // Shared loss-probe engine: payload-loss cache, model pool, pre-batched
   // validation splits. All node steps and round-record evals go through it.
   EvalEngine eval_engine_;
+  tangle::MilestoneTracker pruner_;
 
   // Timeline mode (config_.timeline != nullptr) only; null otherwise so
   // the default path pays nothing for the probes.

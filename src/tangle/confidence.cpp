@@ -47,10 +47,15 @@ std::vector<double> sample_confidences(const TangleView& view,
   std::vector<std::uint32_t> hits(view.size(), 0);
   std::vector<TxIndex> stack;
   std::vector<bool> seen(view.size());
+  // Milestone pruning: the DFS never descends below the frontier, and
+  // everything beneath it is pinned to confidence 1.0 afterwards — the
+  // frontier is in the past cone of every tip, so frozen history is
+  // confirmed by construction. floor == 0 (pruning off) changes nothing.
+  const TxIndex floor = view.tangle().prune_floor();
 
   for (std::size_t round = 0; round < config.sample_rounds; ++round) {
     const TxIndex tip = sample_tip();
-    // Mark the tip's entire past cone as hit this round.
+    // Mark the tip's entire (live) past cone as hit this round.
     std::fill(seen.begin(), seen.end(), false);
     stack.assign(1, tip);
     seen[tip] = true;
@@ -60,7 +65,7 @@ std::vector<double> sample_confidences(const TangleView& view,
       ++hits[current];
       if (current == view.tangle().genesis()) continue;
       for (const TxIndex p : view.tangle().parent_indices(current)) {
-        if (!seen[p]) {
+        if (p >= floor && !seen[p]) {
           seen[p] = true;
           stack.push_back(p);
         }
@@ -71,6 +76,9 @@ std::vector<double> sample_confidences(const TangleView& view,
   const double inv = 1.0 / static_cast<double>(config.sample_rounds);
   for (std::size_t i = 0; i < hits.size(); ++i) {
     confidence[i] = static_cast<double>(hits[i]) * inv;
+  }
+  for (TxIndex i = 0; i < floor && i < confidence.size(); ++i) {
+    confidence[i] = 1.0;
   }
 #if defined(TANGLEFL_DEBUG_CHECKS)
   const auto violations = find_confidence_violations(view, confidence);

@@ -118,7 +118,11 @@ HealthSample HealthTracker::sample(const TangleView& view,
       }
       if (!approved) {
         ++out.tip_count;
-        if (tangle.transaction(i).round + config_.orphan_age <= now) {
+        // Subtraction form: `round + orphan_age` wraps for large configs
+        // (e.g. orphan_age = UINT64_MAX means "never an orphan" but the
+        // wrapped sum classified everything as aged).
+        const std::uint64_t round = tangle.transaction(i).round;
+        if (now >= round && now - round >= config_.orphan_age) {
           ++out.orphan_count;
         }
       }

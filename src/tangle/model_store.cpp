@@ -27,6 +27,12 @@ obs::Counter& get_counter() {
   return counter;
 }
 
+obs::Counter& released_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("store.released.count");
+  return counter;
+}
+
 obs::Histogram& add_timing_histogram() {
   static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
       "store.add_us", obs::BucketLayout::exponential(1.0, 4.0, 12),
@@ -68,7 +74,39 @@ const nn::ParamVector& ModelStore::get(PayloadId id) const {
   if (id >= entries_.size()) {
     throw std::out_of_range("ModelStore::get: unknown payload id");
   }
+  if (entries_[id].released) {
+    throw std::logic_error("ModelStore::get: payload was released");
+  }
   return entries_[id].params;
+}
+
+void ModelStore::release(PayloadId id) {
+  released_counter().increment();
+  WriterLock lock(mutex_);
+  if (id >= entries_.size()) {
+    throw std::out_of_range("ModelStore::release: unknown payload id");
+  }
+  Entry& entry = entries_[id];
+  if (entry.released) return;
+  by_hash_.erase(to_hex(entry.hash));
+  entry.params.clear();
+  entry.params.shrink_to_fit();
+  entry.released = true;
+}
+
+bool ModelStore::is_released(PayloadId id) const {
+  ReaderLock lock(mutex_);
+  if (id >= entries_.size()) {
+    throw std::out_of_range("ModelStore::is_released: unknown payload id");
+  }
+  return entries_[id].released;
+}
+
+PayloadId ModelStore::add_released(const Sha256Digest& hash) {
+  WriterLock lock(mutex_);
+  const PayloadId id = entries_.size();
+  entries_.push_back({nn::ParamVector{}, hash, /*released=*/true});
+  return id;
 }
 
 const Sha256Digest& ModelStore::hash_of(PayloadId id) const {
@@ -88,17 +126,48 @@ void ModelStore::serialize(ByteWriter& writer) const {
   ReaderLock lock(mutex_);
   writer.write_u64(entries_.size());
   for (const auto& entry : entries_) {
-    writer.write_f32_span(entry.params);
+    // Liveness flag per entry: released payloads persist hash-only, so a
+    // pruned ledger's dump shrinks with its store.
+    writer.write_u8(entry.released ? 0 : 1);
+    if (entry.released) {
+      writer.write_bytes(entry.hash);
+    } else {
+      writer.write_f32_span(entry.params);
+    }
   }
 }
 
 void ModelStore::deserialize_into(ByteReader& reader, ModelStore& store) {
   const std::uint64_t count = reader.read_u64();
   for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t live = reader.read_u8();
+    if (live == 1) {
+      const auto added = store.add(reader.read_f32_vector());
+      if (added.id != i) {
+        // Duplicate payloads collapse on re-add; a well-formed dump never
+        // contains duplicates because add() deduplicated on write.
+        throw SerializeError("ModelStore: duplicate payload in dump");
+      }
+      continue;
+    }
+    if (live != 0) {
+      throw SerializeError("ModelStore: bad payload liveness flag");
+    }
+    const std::vector<std::uint8_t> hash_bytes = reader.read_bytes();
+    Sha256Digest hash{};
+    if (hash_bytes.size() != hash.size()) {
+      throw SerializeError("ModelStore: bad released payload hash size");
+    }
+    std::memcpy(hash.data(), hash_bytes.data(), hash.size());
+    store.add_released(hash);
+  }
+}
+
+void ModelStore::deserialize_into_v1(ByteReader& reader, ModelStore& store) {
+  const std::uint64_t count = reader.read_u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
     const auto added = store.add(reader.read_f32_vector());
     if (added.id != i) {
-      // Duplicate payloads collapse on re-add; a well-formed dump never
-      // contains duplicates because add() deduplicated on write.
       throw SerializeError("ModelStore: duplicate payload in dump");
     }
   }

@@ -35,22 +35,39 @@ class ModelStore {
 
   std::size_t size() const;
 
-  /// Total floats stored (diagnostic for dedup effectiveness).
+  /// Total floats stored (diagnostic for dedup effectiveness; released
+  /// payloads contribute nothing).
   std::size_t total_parameters() const;
 
   static Sha256Digest hash_params(std::span<const float> params);
 
+  /// Garbage collection for milestone pruning (tangle/milestones.hpp):
+  /// drops a payload's parameters while keeping its id slot and hash, so
+  /// frozen transaction headers stay verifiable. The id leaves the dedup
+  /// index — re-adding identical params later yields a fresh id. get() on
+  /// a released payload throws std::logic_error (a released payload is
+  /// referenced only below the prune frontier, which no consumer reads).
+  void release(PayloadId id);
+  bool is_released(PayloadId id) const;
+
+  /// Appends a released (parameters-free) entry carrying only its hash —
+  /// the deserialization path for dumps of pruned ledgers.
+  PayloadId add_released(const Sha256Digest& hash);
+
   /// Binary round trip of all payloads (ids are preserved, so transaction
   /// payload handles stay valid across save/load). The store is not
   /// movable (it owns a mutex), so deserialization fills an existing empty
-  /// instance.
+  /// instance. The current format carries a per-entry liveness flag;
+  /// deserialize_into_v1 reads the flag-less legacy format.
   void serialize(ByteWriter& writer) const;
   static void deserialize_into(ByteReader& reader, ModelStore& store);
+  static void deserialize_into_v1(ByteReader& reader, ModelStore& store);
 
  private:
   struct Entry {
     nn::ParamVector params;
     Sha256Digest hash{};
+    bool released = false;
   };
 
   mutable SharedMutex mutex_;

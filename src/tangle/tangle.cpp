@@ -281,6 +281,18 @@ TangleView Tangle::view_prefix(std::size_t count) const {
   return TangleView(*this, count);
 }
 
+void Tangle::set_prune_floor(TxIndex floor) {
+  if (floor < prune_floor_) {
+    throw std::invalid_argument(
+        "Tangle::set_prune_floor: frontier must advance monotonically");
+  }
+  if (floor >= size()) {
+    throw std::invalid_argument(
+        "Tangle::set_prune_floor: frontier outside the ledger");
+  }
+  prune_floor_ = floor;
+}
+
 std::size_t Tangle::visible_count_for_round(std::uint64_t round) const {
   // Transactions are appended in round order; binary-search the boundary.
   const auto it = std::lower_bound(

@@ -105,6 +105,21 @@ class Tangle {
 
   TxIndex genesis() const noexcept { return 0; }
 
+  /// Prune frontier (see tangle/milestones.hpp): the index of the newest
+  /// confirmed milestone. Tip-selection walks, biased walks, and
+  /// confidence sampling never descend below it, Algorithm 1 candidacy is
+  /// restricted to indices at or above it, and ModelStore payloads only
+  /// referenced below it may be released. 0 (the default) means no pruning
+  /// — walks root at the genesis exactly as before.
+  TxIndex prune_floor() const noexcept { return prune_floor_; }
+
+  /// Advances the prune frontier. The floor must be monotone and strictly
+  /// inside the ledger; throws std::invalid_argument otherwise. Callers
+  /// (MilestoneTracker) are responsible for the milestone property — the
+  /// new floor must lie in the reflexive past cone of every tip of every
+  /// view that will be walked.
+  void set_prune_floor(TxIndex floor);
+
   /// Parent indices of a transaction (genesis approves itself).
   const std::vector<TxIndex>& parent_indices(TxIndex index) const {
     return parent_indices_.at(index);
@@ -158,6 +173,7 @@ class Tangle {
   std::vector<Transaction> transactions_;
   std::vector<std::vector<TxIndex>> parent_indices_;
   std::vector<std::vector<TxIndex>> approvers_;
+  TxIndex prune_floor_ = 0;
   // id -> first index bearing it, maintained by every mutation path so
   // find() stays O(1) instead of a linear ledger scan.
   std::unordered_map<TransactionId, TxIndex, TxIdHash> index_by_id_;

@@ -42,11 +42,14 @@ obs::Counter& uniform_counter() {
 /// approvers of `index` in ascending order — both providers do, so the two
 /// paths consume the RNG identically and return identical tips.
 template <typename ApproversFn>
-TxIndex walk_to_tip(std::span<const std::uint32_t> future_cones,
+TxIndex walk_to_tip(TxIndex start, std::span<const std::uint32_t> future_cones,
                     ApproversFn&& approvers_of, Rng& rng,
                     const TipSelectionConfig& config) {
   walk_counter().increment();
-  TxIndex current = 0;  // Tangle::genesis() is always index 0
+  // The prune frontier when milestone pruning is active (the milestone is
+  // in the past cone of every tip, so rooting here reaches the same tip
+  // set); index 0 == Tangle::genesis() otherwise.
+  TxIndex current = start;
   std::vector<double> weights;
   std::uint64_t steps = 0;
   std::uint64_t branch_steps = 0;
@@ -93,14 +96,14 @@ TxIndex random_walk_tip(const TangleView& view,
                         std::span<const std::uint32_t> future_cones, Rng& rng,
                         const TipSelectionConfig& config) {
   return walk_to_tip(
-      future_cones, [&view](TxIndex i) { return view.approvers(i); }, rng,
-      config);
+      view.tangle().prune_floor(), future_cones,
+      [&view](TxIndex i) { return view.approvers(i); }, rng, config);
 }
 
 TxIndex random_walk_tip(const ViewCacheEntry& cones, Rng& rng,
                         const TipSelectionConfig& config) {
   return walk_to_tip(
-      cones.future_cone_sizes(),
+      cones.root(), cones.future_cone_sizes(),
       [&cones](TxIndex i) { return cones.approvers(i); }, rng, config);
 }
 

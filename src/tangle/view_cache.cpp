@@ -47,6 +47,22 @@ obs::Histogram& build_timing_histogram() {
   return hist;
 }
 
+// Delta builds maintained by IncrementalConeState — counted separately
+// from cone_recompute so the latter keeps meaning "full BitMatrix passes".
+obs::Counter& incremental_build_counter() {
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "tangle.cones.incremental.builds");
+  return counter;
+}
+
+obs::Histogram& incremental_build_timing_histogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "tangle.cones.incremental.build_us",
+      obs::BucketLayout::exponential(4.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
+}
+
 // Below this view size the parallel fill's fork/join overhead outweighs the
 // O(n^2/64) work; measured crossover is a few thousand transactions.
 constexpr std::size_t kParallelMinCount = 2048;
@@ -155,6 +171,29 @@ struct ConeSlice {
 
 }  // namespace
 
+void ViewCacheEntry::fill_topology(const TangleView& view) {
+  // CSR adjacency snapshot: approver lists are in insertion (ascending)
+  // order in the Tangle, so filtering preserves the exact sequence
+  // TangleView::approvers() produces.
+  const Tangle& tangle = view.tangle();
+  const std::size_t n = view.size();
+  offsets_.reserve(n + 1);
+  offsets_.push_back(0);
+  for (TxIndex i = 0; i < n; ++i) {
+    if (view.contains(i)) {
+      for (const TxIndex a : tangle.approvers(i)) {
+        if (view.contains(a)) edges_.push_back(a);
+      }
+    }
+    offsets_.push_back(static_cast<std::uint32_t>(edges_.size()));
+  }
+  for (TxIndex i = 0; i < n; ++i) {
+    if (view.contains(i) && offsets_[i + 1] == offsets_[i]) {
+      tips_.push_back(i);
+    }
+  }
+}
+
 std::shared_ptr<const ViewCacheEntry> ViewCacheEntry::build(
     const TangleView& view, ThreadPool* pool) {
   obs::TraceScope span("tangle.view_cache.build", &build_timing_histogram());
@@ -163,28 +202,10 @@ std::shared_ptr<const ViewCacheEntry> ViewCacheEntry::build(
   auto entry = std::shared_ptr<ViewCacheEntry>(new ViewCacheEntry());
   const std::size_t n = view.size();
   entry->count_ = n;
+  entry->root_ = view.tangle().prune_floor();
   entry->past_.assign(n, 0);
   entry->future_.assign(n, 0);
-
-  // CSR adjacency snapshot: approver lists are in insertion (ascending)
-  // order in the Tangle, so filtering preserves the exact sequence
-  // TangleView::approvers() produces.
-  const Tangle& tangle = view.tangle();
-  entry->offsets_.reserve(n + 1);
-  entry->offsets_.push_back(0);
-  for (TxIndex i = 0; i < n; ++i) {
-    if (view.contains(i)) {
-      for (const TxIndex a : tangle.approvers(i)) {
-        if (view.contains(a)) entry->edges_.push_back(a);
-      }
-    }
-    entry->offsets_.push_back(static_cast<std::uint32_t>(entry->edges_.size()));
-  }
-  for (TxIndex i = 0; i < n; ++i) {
-    if (view.contains(i) && entry->offsets_[i + 1] == entry->offsets_[i]) {
-      entry->tips_.push_back(i);
-    }
-  }
+  entry->fill_topology(view);
   if (n <= 1) return entry;
 
   const std::size_t words = (n + 63) / 64;
@@ -226,6 +247,25 @@ std::shared_ptr<const ViewCacheEntry> ViewCacheEntry::build(
   return entry;
 }
 
+std::shared_ptr<const ViewCacheEntry> ViewCacheEntry::build_incremental(
+    const TangleView& view, IncrementalConeState& state) {
+  obs::TraceScope span("tangle.cones.incremental.build",
+                       &incremental_build_timing_histogram());
+  incremental_build_counter().increment();
+
+  const std::size_t n = view.size();
+  state.advance_to(view.tangle(), n);
+  auto entry = std::shared_ptr<ViewCacheEntry>(new ViewCacheEntry());
+  entry->count_ = n;
+  entry->root_ = view.tangle().prune_floor();
+  const std::span<const std::uint32_t> past = state.past_cone_sizes();
+  const std::span<const std::uint32_t> future = state.future_cone_sizes();
+  entry->past_.assign(past.begin(), past.begin() + static_cast<long>(n));
+  entry->future_.assign(future.begin(), future.begin() + static_cast<long>(n));
+  entry->fill_topology(view);
+  return entry;
+}
+
 std::shared_ptr<const ViewCacheEntry> ViewCache::get(const TangleView& view,
                                                      ThreadPool* pool) {
   const std::vector<std::uint64_t> mask_words = pack_membership(view);
@@ -244,6 +284,7 @@ std::shared_ptr<const ViewCacheEntry> ViewCache::get(const TangleView& view,
     // one (e.g. after a test reuses the cache) drops all entries.
     if (tangle_ != &view.tangle()) {
       tangle_ = &view.tangle();
+      cone_state_.reset();
       displaced.swap(slots_);
     }
     ++tick_;
@@ -264,7 +305,19 @@ std::shared_ptr<const ViewCacheEntry> ViewCache::get(const TangleView& view,
     // Built under the lock on purpose: a second thread asking for the same
     // view blocks here and then *hits*, keeping the hit/miss counter
     // sequence deterministic (build-outside-lock would double-miss).
-    slot.entry = ViewCacheEntry::build(view, pool);
+    //
+    // The delta path serves prefix(-equivalent) views the incremental
+    // state can reach monotonically. Masked views and shrinking requests
+    // (e.g. the async engine's lagging wake horizons right after a
+    // full-ledger eval) fall back to the full BitMatrix build — the state
+    // only ever moves forward, so a later growing request resumes the
+    // delta path where it left off.
+    if (incremental_ && mask_words.empty() &&
+        cone_state_.processed() <= view.size()) {
+      slot.entry = ViewCacheEntry::build_incremental(view, cone_state_);
+    } else {
+      slot.entry = ViewCacheEntry::build(view, pool);
+    }
     slot.last_used = tick_;
     if (capacity_ > 0 && slots_.size() >= capacity_) {
       const auto oldest = std::min_element(
@@ -295,6 +348,28 @@ void ViewCache::clear() {
 std::size_t ViewCache::size() const {
   MutexLock lock(mutex_);
   return slots_.size();
+}
+
+ViewCache::ConeStateSnapshot ViewCache::cone_state_snapshot() const {
+  MutexLock lock(mutex_);
+  const std::span<const std::uint32_t> past = cone_state_.past_cone_sizes();
+  const std::span<const std::uint32_t> future =
+      cone_state_.future_cone_sizes();
+  return ConeStateSnapshot{{past.begin(), past.end()},
+                           {future.begin(), future.end()}};
+}
+
+void ViewCache::restore_cone_state(const Tangle& tangle,
+                                   ConeStateSnapshot snapshot) {
+  std::vector<Slot> displaced;
+  {
+    MutexLock lock(mutex_);
+    // Bind to the restored tangle so the next get() does not treat it as a
+    // rebind and wipe the seeded state.
+    tangle_ = &tangle;
+    displaced.swap(slots_);
+    cone_state_.restore(std::move(snapshot.past), std::move(snapshot.future));
+  }
 }
 
 }  // namespace tanglefl::tangle

@@ -44,7 +44,9 @@
 #include <span>
 #include <vector>
 
+#include "support/check.hpp"
 #include "support/sync.hpp"
+#include "tangle/incremental_cones.hpp"
 #include "tangle/tangle.hpp"
 
 namespace tanglefl {
@@ -61,6 +63,17 @@ class ViewCacheEntry {
   /// word blocks; results are bit-identical regardless of thread count.
   static std::shared_ptr<const ViewCacheEntry> build(
       const TangleView& view, ThreadPool* pool = nullptr);
+
+  /// Delta build for prefix(-equivalent) views: advances `state` to
+  /// view.size() — folding in only the transactions appended since the
+  /// previous build — and snapshots its cone vectors instead of running
+  /// the O(n^2/64) BitMatrix pass. With pruning disabled the result is
+  /// bit-identical to build(); under pruning the frozen region carries the
+  /// approximation documented in tangle/incremental_cones.hpp. The caller
+  /// must guarantee state.processed() <= view.size() and that the view is
+  /// prefix-equivalent (member_count() == size()).
+  static std::shared_ptr<const ViewCacheEntry> build_incremental(
+      const TangleView& view, IncrementalConeState& state);
 
   /// Upper bound of member indices (== TangleView::size()).
   std::size_t view_size() const noexcept { return count_; }
@@ -82,14 +95,27 @@ class ViewCacheEntry {
 
   /// Direct approvers of `index` inside the view, ascending — the same
   /// sequence TangleView::approvers() returns, without the allocation.
-  std::span<const TxIndex> approvers(TxIndex index) const noexcept {
+  /// `index` must be inside the view: the CSR offset table has count_ + 1
+  /// rows, so an out-of-view index used to silently read garbage (not
+  /// noexcept — the debug-build bounds check throws CheckFailure).
+  std::span<const TxIndex> approvers(TxIndex index) const {
+    TANGLEFL_DCHECK(index < count_);
     return std::span<const TxIndex>(edges_)
         .subspan(offsets_[index], offsets_[index + 1] - offsets_[index]);
   }
 
+  /// Walk root recorded at build time: the tangle's prune frontier (0 with
+  /// pruning off, i.e. the genesis). Tip-selection walks over this entry
+  /// start here, never descending into frozen history.
+  TxIndex root() const noexcept { return root_; }
+
  private:
   ViewCacheEntry() = default;
 
+  /// CSR + tip-set fill shared by both builders.
+  void fill_topology(const TangleView& view);
+
+  TxIndex root_ = 0;
   std::size_t count_ = 0;
   std::vector<std::uint32_t> past_;
   std::vector<std::uint32_t> future_;
@@ -102,15 +128,38 @@ class ViewCacheEntry {
 /// round. One instance per engine (and per Tangle).
 class ViewCache {
  public:
-  explicit ViewCache(std::size_t capacity = 8) : capacity_(capacity) {}
+  /// `incremental` enables the delta build path (ViewCacheEntry::
+  /// build_incremental) for monotonically growing prefix views; masked and
+  /// shrinking views always fall back to the full BitMatrix build. Off, the
+  /// cache behaves exactly as before (every miss is a full build).
+  explicit ViewCache(std::size_t capacity = 8, bool incremental = true)
+      : capacity_(capacity), incremental_(incremental) {}
 
   /// Returns the entry for `view`, building it on a miss. Hits and misses
   /// are counted in the tangle.view_cache.{hit,miss} metrics.
   std::shared_ptr<const ViewCacheEntry> get(const TangleView& view,
                                             ThreadPool* pool = nullptr);
 
-  /// Drops every cached entry (outstanding shared_ptrs stay valid).
+  /// Drops every cached entry (outstanding shared_ptrs stay valid). The
+  /// incremental cone state survives — it describes the tangle, not the
+  /// entries.
   void clear();
+
+  /// Copies of the incremental cone-state vectors, for checkpointing a
+  /// pruned ledger (tangle/checkpoint.hpp). Both empty when the state has
+  /// processed nothing yet.
+  struct ConeStateSnapshot {
+    std::vector<std::uint32_t> past;
+    std::vector<std::uint32_t> future;
+  };
+  ConeStateSnapshot cone_state_snapshot() const;
+
+  /// Seeds the incremental state from a checkpoint snapshot and binds the
+  /// cache to `tangle` (whose leading snapshot.past.size() transactions
+  /// the arrays must describe). Resuming through this keeps cone values —
+  /// including their historical-floor approximations — byte-identical to
+  /// the run that saved them.
+  void restore_cone_state(const Tangle& tangle, ConeStateSnapshot snapshot);
 
   std::size_t size() const;
   std::size_t capacity() const noexcept { return capacity_; }
@@ -131,7 +180,9 @@ class ViewCache {
   std::vector<Slot> slots_ TANGLEFL_GUARDED_BY(mutex_);
   std::uint64_t tick_ TANGLEFL_GUARDED_BY(mutex_) = 0;
   const Tangle* tangle_ TANGLEFL_GUARDED_BY(mutex_) = nullptr;
+  IncrementalConeState cone_state_ TANGLEFL_GUARDED_BY(mutex_);
   const std::size_t capacity_;  // lint:allow(unannotated-guard) immutable
+  const bool incremental_;      // lint:allow(unannotated-guard) immutable
 };
 
 }  // namespace tanglefl::tangle

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "support/rng.hpp"
 #include "tangle/model_store.hpp"
 #include "tangle/tangle.hpp"
@@ -80,6 +82,21 @@ TEST(HealthTracker, OrphanAgingAgainstNow) {
   EXPECT_EQ(sample.tip_count, 2u);
   EXPECT_EQ(sample.orphan_count, 1u);
   EXPECT_DOUBLE_EQ(sample.orphan_rate, 1.0 / 3.0);  // 3 non-genesis txs
+}
+
+TEST(HealthTracker, MaxOrphanAgeNeverFlagsOrphans) {
+  // Regression: the aging test used to compute round + orphan_age, which
+  // wrapped for orphan_age = UINT64_MAX and flagged every fresh tip as an
+  // orphan. The subtraction form must classify nothing, ever.
+  Fixture f;
+  f.add({0, 0}, 1.0f, 1);  // an unapproved tip from round 1
+  HealthTracker tracker(
+      no_confirmation(std::numeric_limits<std::uint64_t>::max()));
+  Rng rng(1);
+  const HealthSample sample =
+      tracker.sample(f.tangle.view(), nullptr, /*now=*/1'000'000, rng);
+  EXPECT_EQ(sample.orphan_count, 0u);
+  EXPECT_DOUBLE_EQ(sample.orphan_rate, 0.0);
 }
 
 TEST(HealthTracker, FirstApprovalRecordedExactlyOnce) {

@@ -91,5 +91,54 @@ TEST(ModelStore, EmptyPayloadAllowed) {
   EXPECT_TRUE(store.get(added.id).empty());
 }
 
+TEST(ModelStore, ReleaseKeepsHashDropsParams) {
+  ModelStore store;
+  const auto a = store.add({1.0f, 2.0f});
+  const auto b = store.add({3.0f});
+  store.release(a.id);
+  EXPECT_TRUE(store.is_released(a.id));
+  EXPECT_FALSE(store.is_released(b.id));
+  EXPECT_THROW((void)store.get(a.id), std::logic_error);
+  EXPECT_EQ(to_hex(store.hash_of(a.id)), to_hex(a.hash));  // hash survives
+  EXPECT_EQ(store.get(b.id), (nn::ParamVector{3.0f}));
+  EXPECT_EQ(store.total_parameters(), 1u);  // only b's params remain
+  store.release(a.id);  // idempotent
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(ModelStore, ReleasedHashCanBeReAdded) {
+  // Releasing drops the dedup index entry: re-adding the same params mints
+  // a fresh id instead of resurrecting the tombstone.
+  ModelStore store;
+  const auto a = store.add({4.0f, 5.0f});
+  store.release(a.id);
+  const auto again = store.add({4.0f, 5.0f});
+  EXPECT_NE(again.id, a.id);
+  EXPECT_FALSE(again.deduplicated);
+  EXPECT_TRUE(store.is_released(a.id));
+  EXPECT_EQ(store.get(again.id), (nn::ParamVector{4.0f, 5.0f}));
+}
+
+TEST(ModelStore, SerializeRoundTripsReleasedEntries) {
+  ModelStore store;
+  const auto a = store.add({1.0f, 2.0f});
+  const auto b = store.add({3.0f, 4.0f});
+  const auto c = store.add({5.0f});
+  store.release(b.id);
+
+  ByteWriter writer;
+  store.serialize(writer);
+  ByteReader reader(writer.bytes());
+  ModelStore restored;
+  ModelStore::deserialize_into(reader, restored);
+
+  ASSERT_EQ(restored.size(), 3u);
+  EXPECT_EQ(restored.get(a.id), (nn::ParamVector{1.0f, 2.0f}));
+  EXPECT_TRUE(restored.is_released(b.id));
+  EXPECT_EQ(to_hex(restored.hash_of(b.id)), to_hex(b.hash));
+  EXPECT_THROW((void)restored.get(b.id), std::logic_error);
+  EXPECT_EQ(restored.get(c.id), (nn::ParamVector{5.0f}));
+}
+
 }  // namespace
 }  // namespace tanglefl::tangle

@@ -350,11 +350,81 @@ TEST(ViewCache, BuildCountsAsConeRecomputes) {
   obs::Counter& recomputes =
       obs::MetricsRegistry::global().counter("tangle.cone_recompute.count");
   const std::uint64_t before = recomputes.value();
-  ViewCache cache(4);
+  ViewCache cache(4, /*incremental=*/false);
   (void)cache.get(f.tangle.view());  // miss: one past + one future pass
   EXPECT_EQ(recomputes.value() - before, 2u);
   (void)cache.get(f.tangle.view());  // hit: no recompute
   EXPECT_EQ(recomputes.value() - before, 2u);
+}
+
+TEST(ViewCacheEntry, ApproversOutOfRangeThrowsUnderDebugChecks) {
+  // Regression: approvers(index) used to read offsets_[index + 1]
+  // unchecked, so an out-of-view index silently returned garbage spans.
+  Fixture f;
+  f.grow(5, /*seed=*/2);
+  const auto entry = ViewCacheEntry::build(f.tangle.view());
+#if defined(TANGLEFL_DEBUG_CHECKS)
+  EXPECT_THROW((void)entry->approvers(entry->view_size()), CheckFailure);
+  EXPECT_THROW((void)entry->approvers(entry->view_size() + 7), CheckFailure);
+#endif
+  (void)entry->approvers(entry->view_size() - 1);  // last valid row is fine
+}
+
+TEST(ViewCache, IncrementalAndFullBuildsServeIdenticalEntries) {
+  Fixture f;
+  f.grow(80, /*seed=*/31);
+  ViewCache incremental(4, /*incremental=*/true);
+  ViewCache full(4, /*incremental=*/false);
+  // Grow between gets so the incremental path exercises real deltas.
+  for (const std::size_t extra : {0UL, 15UL, 40UL}) {
+    f.grow(extra, /*seed=*/31 + extra);
+    const TangleView view = f.tangle.view();
+    const auto a = incremental.get(view);
+    const auto b = full.get(view);
+    expect_entry_matches_view(view, *a);
+    expect_entry_matches_view(view, *b);
+  }
+}
+
+TEST(ViewCache, ConeStateSnapshotRestoresAcrossCaches) {
+  Fixture f;
+  f.grow(60, /*seed=*/37);
+  ViewCache original(4);
+  (void)original.get(f.tangle.view());
+  const ViewCache::ConeStateSnapshot snapshot =
+      original.cone_state_snapshot();
+  ASSERT_EQ(snapshot.past.size(), f.tangle.size());
+
+  ViewCache resumed(4);
+  resumed.restore_cone_state(f.tangle, snapshot);
+  // The first get() after a restore must serve the seeded state, not wipe
+  // it via the tangle-rebind path.
+  f.grow(25, /*seed=*/39);
+  const TangleView view = f.tangle.view();
+  const auto restored_entry = resumed.get(view);
+  const auto fresh_entry = original.get(view);
+  ASSERT_EQ(restored_entry->view_size(), fresh_entry->view_size());
+  for (TxIndex i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(restored_entry->past_cone_sizes()[i],
+              fresh_entry->past_cone_sizes()[i]);
+    EXPECT_EQ(restored_entry->future_cone_sizes()[i],
+              fresh_entry->future_cone_sizes()[i]);
+  }
+}
+
+TEST(ViewCache, IncrementalMissAvoidsConeRecomputes) {
+  Fixture f;
+  f.grow(10, /*seed=*/53);
+  obs::Counter& recomputes =
+      obs::MetricsRegistry::global().counter("tangle.cone_recompute.count");
+  obs::Counter& incremental_builds = obs::MetricsRegistry::global().counter(
+      "tangle.cones.incremental.builds");
+  const std::uint64_t before = recomputes.value();
+  const std::uint64_t builds_before = incremental_builds.value();
+  ViewCache cache(4);  // incremental by default
+  (void)cache.get(f.tangle.view());
+  EXPECT_EQ(recomputes.value() - before, 0u);
+  EXPECT_EQ(incremental_builds.value() - builds_before, 1u);
 }
 
 }  // namespace

@@ -56,6 +56,10 @@ KEY_COUNTERS = (
     "train.batches",
     "tangle.tip_walk.count",
     "tangle.cone_recompute.count",
+    "tangle.cones.incremental.builds",
+    "tangle.cones.incremental.appended",
+    "tangle.prune.milestones",
+    "tangle.prune.payloads_released",
     "tangle.transactions.added",
 )
 
