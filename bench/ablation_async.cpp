@@ -22,6 +22,10 @@ int main(int argc, char** argv) {
       args.get_int("eval-cache", 1,
                    "cache loss probes across wakeups (0 = off; outputs are "
                    "byte-identical either way)") != 0;
+  const bool eval_batch =
+      args.get_int("eval-batch", 1,
+                   "batched multi-model candidate probes (0 = off; outputs "
+                   "are byte-identical either way)") != 0;
   const std::string csv =
       args.get_string("csv", "ablation_async.csv", "output CSV path");
   bench::BenchRun bench_run("ablation_async", args);
@@ -33,6 +37,7 @@ int main(int argc, char** argv) {
   bench_run.config("rounds", rounds);
   bench_run.config("nodes", nodes);
   bench_run.config("eval_cache", eval_cache);
+  bench_run.config("eval_batch", eval_batch);
   bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
@@ -59,6 +64,7 @@ int main(int argc, char** argv) {
   round_config.node = node;
   round_config.seed = seed;
   round_config.use_eval_cache = eval_cache;
+  round_config.use_eval_batch = eval_batch;
   round_config.timeline = bench_run.timeline();
   const core::RunResult round_run = [&] {
     auto timer = bench_run.phase("round-based");
@@ -109,6 +115,7 @@ int main(int argc, char** argv) {
     config.node = node;
     config.seed = seed;
     config.use_eval_cache = eval_cache;
+    config.use_eval_batch = eval_batch;
     config.timeline = bench_run.timeline();
     if (config.timeline != nullptr) config.timeline->begin_run(variant.name);
 

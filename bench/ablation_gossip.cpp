@@ -21,6 +21,10 @@ int main(int argc, char** argv) {
       args.get_int("eval-cache", 1,
                    "cache loss probes across rounds (0 = off; outputs are "
                    "byte-identical either way)") != 0;
+  const bool eval_batch =
+      args.get_int("eval-batch", 1,
+                   "batched multi-model candidate probes (0 = off; outputs "
+                   "are byte-identical either way)") != 0;
   const std::string csv =
       args.get_string("csv", "ablation_gossip.csv", "output CSV path");
   bench::BenchRun bench_run("ablation_gossip", args);
@@ -32,6 +36,7 @@ int main(int argc, char** argv) {
   bench_run.config("users", users);
   bench_run.config("nodes", nodes);
   bench_run.config("eval_cache", eval_cache);
+  bench_run.config("eval_batch", eval_batch);
   bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
@@ -59,6 +64,7 @@ int main(int argc, char** argv) {
   reference_config.node = node;
   reference_config.seed = seed;
   reference_config.use_eval_cache = eval_cache;
+  reference_config.use_eval_batch = eval_batch;
   reference_config.timeline = bench_run.timeline();
   const core::RunResult reference = [&] {
     auto timer = bench_run.phase("full-replication");
@@ -101,6 +107,7 @@ int main(int argc, char** argv) {
     config.node = node;
     config.seed = seed;
     config.use_eval_cache = eval_cache;
+    config.use_eval_batch = eval_batch;
     config.timeline = bench_run.timeline();
     if (config.timeline != nullptr) config.timeline->begin_run(variant.name);
 

@@ -29,6 +29,10 @@ int main(int argc, char** argv) {
       args.get_int("eval-cache", 1,
                    "cache loss probes across rounds (0 = off; outputs are "
                    "byte-identical either way)") != 0;
+  const bool eval_batch =
+      args.get_int("eval-batch", 1,
+                   "batched multi-model candidate probes (0 = off; outputs "
+                   "are byte-identical either way)") != 0;
   const std::string csv =
       args.get_string("csv", "ablation_robustness.csv", "output CSV path");
   bench::BenchRun bench_run("ablation_robustness", args);
@@ -43,6 +47,7 @@ int main(int argc, char** argv) {
   bench_run.config("fraction", fraction);
   bench_run.config("threads", threads);
   bench_run.config("eval_cache", eval_cache);
+  bench_run.config("eval_batch", eval_batch);
   bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
@@ -84,6 +89,7 @@ int main(int argc, char** argv) {
       config.seed = seed;
       config.threads = threads;
       config.use_eval_cache = eval_cache;
+      config.use_eval_batch = eval_batch;
       config.timeline = bench_run.timeline();
 
       const core::RunResult run = [&] {

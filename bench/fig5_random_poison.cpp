@@ -27,6 +27,10 @@ int main(int argc, char** argv) {
       args.get_int("eval-cache", 1,
                    "cache loss probes across rounds (0 = off; outputs are "
                    "byte-identical either way)") != 0;
+  const bool eval_batch =
+      args.get_int("eval-batch", 1,
+                   "batched multi-model candidate probes (0 = off; outputs "
+                   "are byte-identical either way)") != 0;
   const bool biased_walk =
       args.get_int("biased-walk", 0,
                    "walk-loss-biased tip selection (the Section III "
@@ -47,6 +51,7 @@ int main(int argc, char** argv) {
   bench_run.config("nodes", nodes);
   bench_run.config("threads", threads);
   bench_run.config("eval_cache", eval_cache);
+  bench_run.config("eval_batch", eval_batch);
   bench_run.config("biased_walk", biased_walk);
   bench_run.config("fractions", fractions_list);
   bench_run.config("csv", csv);
@@ -90,6 +95,7 @@ int main(int argc, char** argv) {
     config.seed = seed;
     config.threads = threads;
     config.use_eval_cache = eval_cache;
+    config.use_eval_batch = eval_batch;
     config.timeline = bench_run.timeline();
 
     core::RunResult run = [&] {

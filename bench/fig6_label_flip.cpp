@@ -32,6 +32,10 @@ int main(int argc, char** argv) {
       args.get_int("eval-cache", 1,
                    "cache loss probes across rounds (0 = off; outputs are "
                    "byte-identical either way)") != 0;
+  const bool eval_batch =
+      args.get_int("eval-batch", 1,
+                   "batched multi-model candidate probes (0 = off; outputs "
+                   "are byte-identical either way)") != 0;
   const std::string fractions_list =
       args.get_string("fractions", "0.1,0.2,0.3", "malicious fractions");
   const std::string csv =
@@ -49,6 +53,7 @@ int main(int argc, char** argv) {
   bench_run.config("target_class", static_cast<std::int64_t>(target));
   bench_run.config("threads", threads);
   bench_run.config("eval_cache", eval_cache);
+  bench_run.config("eval_batch", eval_batch);
   bench_run.config("fractions", fractions_list);
   bench_run.config("csv", csv);
 
@@ -88,6 +93,7 @@ int main(int argc, char** argv) {
     config.seed = seed;
     config.threads = threads;
     config.use_eval_cache = eval_cache;
+    config.use_eval_batch = eval_batch;
     config.timeline = bench_run.timeline();
 
     core::RunResult run = [&] {

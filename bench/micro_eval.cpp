@@ -16,6 +16,7 @@
 #include "obs/trace.hpp"
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -26,6 +27,12 @@ struct EvalFixture {
   nn::ParamVector params;
   data::DataSplit split;
 };
+
+core::EvalEngineConfig no_cache_config() {
+  core::EvalEngineConfig config;
+  config.use_cache = false;
+  return config;
+}
 
 // FEMNIST shape: 28x28 grayscale, 62 classes (Table I).
 EvalFixture make_cnn_fixture(std::size_t samples) {
@@ -108,8 +115,7 @@ BENCHMARK(BM_ParamsLossColdLSTM)->Unit(benchmark::kMillisecond);
 // probe pays its forwards, isolating the pool + batching win).
 void params_loss_pooled_loop(benchmark::State& state, bool lstm) {
   const EvalFixture fixture = make_fixture(lstm, 64);
-  core::EvalEngine engine(fixture.factory,
-                          core::EvalEngineConfig{/*use_cache=*/false});
+  core::EvalEngine engine(fixture.factory, no_cache_config());
   const auto prepared = engine.prepare(fixture.split);
   for (auto _ : state) {
     core::EvalEngine::ModelLease lease = engine.acquire();
@@ -154,6 +160,100 @@ void BM_EvalCacheHitLSTM(benchmark::State& state) {
   eval_cache_hit_loop(state, /*lstm=*/true);
 }
 BENCHMARK(BM_EvalCacheHitLSTM);
+
+// ------------------------------------------------------- multi-model probes
+//
+// Robust tip selection's per-step workload: k same-architecture candidate
+// models scored on the paper CNN shape. Cold is the pre-engine path per
+// candidate; SerialMiss is the pre-batching engine path (one standalone
+// pooled forward per candidate, cache disabled so every probe pays its
+// forwards); Fused is one evaluate_many group, which shares each batch's
+// conv im2col + panel pack across the k models and drives the k×batches
+// grid through a kernel ThreadPool. All three produce bit-identical losses.
+
+std::vector<nn::ParamVector> make_candidates(const EvalFixture& fixture,
+                                             std::size_t k) {
+  std::vector<nn::ParamVector> candidates(k, fixture.params);
+  Rng rng(7);
+  for (auto& params : candidates) {
+    for (auto& v : params) v += 0.01f * static_cast<float>(rng.normal());
+  }
+  return candidates;
+}
+
+void BM_MultiEvalCold(benchmark::State& state) {
+  const EvalFixture fixture = make_cnn_fixture(64);
+  const auto candidates =
+      make_candidates(fixture, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const auto& params : candidates) {
+      nn::Model model = fixture.factory();
+      model.set_parameters(params);
+      sum += data::evaluate(model, fixture.split).loss;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_MultiEvalCold)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultiEvalSerialMiss(benchmark::State& state) {
+  const EvalFixture fixture = make_cnn_fixture(64);
+  const auto candidates =
+      make_candidates(fixture, static_cast<std::size_t>(state.range(0)));
+  core::EvalEngine engine(fixture.factory, no_cache_config());
+  const auto prepared = engine.prepare(fixture.split);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      sum += engine
+                 .params_eval(core::ParamsKey::single(1000 + i),
+                              candidates[i], *prepared)
+                 .result.loss;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_MultiEvalSerialMiss)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultiEvalFused(benchmark::State& state) {
+  const EvalFixture fixture = make_cnn_fixture(64);
+  const auto candidates =
+      make_candidates(fixture, static_cast<std::size_t>(state.range(0)));
+  core::EvalEngine engine(fixture.factory, no_cache_config());
+  const auto prepared = engine.prepare(fixture.split);
+  ThreadPool pool;  // hardware concurrency, as the sim harness kernel pool
+  std::vector<core::EvalRequest> requests(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    requests[i].params = candidates[i];
+    requests[i].key = core::ParamsKey::single(1000 + i);
+  }
+  for (auto _ : state) {
+    double sum = 0.0;
+    const std::vector<core::EvalOutcome> outcomes =
+        engine.evaluate_many(requests, *prepared, &pool);
+    for (const core::EvalOutcome& outcome : outcomes) {
+      sum += outcome.result.loss;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_MultiEvalFused)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

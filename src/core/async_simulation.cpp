@@ -58,6 +58,13 @@ double exponential(Rng& rng, double rate) {
   return -std::log(u) / rate;
 }
 
+EvalEngineConfig eval_engine_config(bool use_cache, bool use_batched) {
+  EvalEngineConfig config;
+  config.use_cache = use_cache;
+  config.use_batched = use_batched;
+  return config;
+}
+
 }  // namespace
 
 AsyncTangleSimulation::AsyncTangleSimulation(
@@ -73,7 +80,9 @@ AsyncTangleSimulation::AsyncTangleSimulation(
             factory_, master_rng_.split(streams::kGenesis)));
         return tangle::Tangle(added.id, added.hash);
       }()),
-      eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}),
+      eval_engine_(factory_,
+                   eval_engine_config(config.use_eval_cache,
+                                      config.use_eval_batch)),
       pruner_(config.prune) {
   if (config_.timeline != nullptr) {
     // Ledger time is microseconds here; the orphan age arrives in seconds.
@@ -170,15 +179,18 @@ RoundRecord AsyncTangleSimulation::evaluate(double now) {
   // split, and a result cached by the reference payload list.
   const std::shared_ptr<const BatchedSplit> prepared =
       eval_engine_.prepare(pooled);
-  EvalEngine::ModelLease lease = eval_engine_.acquire();
-  lease.model().set_parameters(reference.params);
+  const EvalRequest request{reference.params, ParamsKey{reference.payloads}};
   const data::EvalResult eval =
       eval_engine_
-          .evaluate_cached(ParamsKey{reference.payloads}, lease.model(),
-                           *prepared)
+          .evaluate_many(std::span<const EvalRequest>(&request, 1), *prepared)
+          .front()
           .result;
   record.accuracy = eval.accuracy;
   record.loss = eval.loss;
+  // The attack metric runs direct forwards over transformed inputs, so it
+  // still needs a concrete model instance carrying the reference weights.
+  EvalEngine::ModelLease lease = eval_engine_.acquire();
+  lease.model().set_parameters(reference.params);
   record.target_misclassification = data::targeted_misclassification_rate(
       lease.model(), pooled, config_.flip.source_class,
       config_.flip.target_class);

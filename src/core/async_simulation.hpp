@@ -54,6 +54,10 @@ struct AsyncSimulationConfig {
   // Cache loss-probe results across probes and wakeups in the shared eval
   // engine; byte-identical outputs either way (core/eval_engine.hpp).
   bool use_eval_cache = true;
+  // Batched multi-model candidate probes (EvalEngineConfig::use_batched):
+  // off replays the exact per-probe serial path. Outputs are byte-identical
+  // either way.
+  bool use_eval_batch = true;
 
   // Milestone pruning, checked at evaluation instants and clamped so the
   // frontier never outruns the slowest in-flight view horizon (see

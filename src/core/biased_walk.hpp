@@ -27,6 +27,10 @@
 #include "tangle/model_store.hpp"
 #include "tangle/tip_selection.hpp"
 
+namespace tanglefl {
+class ThreadPool;
+}
+
 namespace tanglefl::core {
 
 class BatchedSplit;
@@ -46,13 +50,26 @@ class LocalLossCache {
 
   /// Engine mode: probes go through `engine`'s payload cache and model
   /// pool. A null `batched` (empty validation) degenerates to the
-  /// structural walk, as in legacy mode.
+  /// structural walk, as in legacy mode. `pool` (optional, not owned)
+  /// drives the fused multi-model pass of prefetch().
   LocalLossCache(EvalEngine& engine, const tangle::ModelStore& store,
-                 std::shared_ptr<const BatchedSplit> batched)
-      : store_(&store), engine_(&engine), batched_(std::move(batched)) {}
+                 std::shared_ptr<const BatchedSplit> batched,
+                 ThreadPool* pool = nullptr)
+      : store_(&store),
+        engine_(&engine),
+        batched_(std::move(batched)),
+        pool_(pool) {}
 
   /// Loss of `index`'s payload on the validation split (cached).
   double loss(const tangle::TangleView& view, tangle::TxIndex index);
+
+  /// Batch-probes every not-yet-memoized index through the engine's fused
+  /// multi-model pass, so a walk branch pays one grouped evaluation instead
+  /// of one standalone forward per approver. Memo contents, counters, and
+  /// subsequent loss() results are identical to probing serially in
+  /// `indices` order. No-op in legacy mode.
+  void prefetch(const tangle::TangleView& view,
+                std::span<const tangle::TxIndex> indices);
 
   /// Forward evaluations this cache instance paid for (engine cache hits
   /// are free and not counted).
@@ -64,6 +81,7 @@ class LocalLossCache {
   const data::DataSplit* validation_ = nullptr;
   EvalEngine* engine_ = nullptr;
   std::shared_ptr<const BatchedSplit> batched_;
+  ThreadPool* pool_ = nullptr;
   std::unordered_map<tangle::TxIndex, double> cache_;
   std::size_t evaluations_ = 0;
 };

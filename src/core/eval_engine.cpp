@@ -2,10 +2,15 @@
 
 #include <cassert>
 #include <cstring>
+#include <stdexcept>
+#include <utility>
 
+#include "nn/layer.hpp"
 #include "nn/loss.hpp"
+#include "nn/ops.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "support/thread_pool.hpp"
 
 namespace tanglefl::core {
 namespace {
@@ -31,6 +36,24 @@ obs::Counter& forward_counter() {
 obs::Counter& example_counter() {
   static obs::Counter& counter =
       obs::MetricsRegistry::global().counter("eval.examples");
+  return counter;
+}
+
+obs::Counter& batched_group_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("eval.batched.groups");
+  return counter;
+}
+
+obs::Counter& batched_model_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("eval.batched.models");
+  return counter;
+}
+
+obs::Counter& pack_reuse_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("eval.batched.pack_reuses");
   return counter;
 }
 
@@ -105,7 +128,175 @@ SplitKey split_key_of(const data::DataSplit& split) {
   return key;
 }
 
+/// Per-batch partial score of one model; reduced per model in ascending
+/// batch order, which reproduces evaluate()'s accumulation bit-for-bit.
+struct BatchScore {
+  float loss = 0.0f;
+  std::size_t correct = 0;
+};
+
+BatchScore score_batch(const nn::Tensor& logits,
+                       std::span<const std::int32_t> labels) {
+  BatchScore score;
+  score.loss = nn::softmax_cross_entropy_loss(logits, labels);
+  for (std::size_t row = 0; row < labels.size(); ++row) {
+    if (logits.argmax_row(row) == static_cast<std::size_t>(labels[row])) {
+      ++score.correct;
+    }
+  }
+  return score;
+}
+
+void run_tasks(ThreadPool* pool, std::size_t n,
+               const std::function<void(std::size_t)>& body) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  } else {
+    pool->parallel_for(n, body);
+  }
+}
+
+/// The default backend: pooled nn::Model instances running the ops kernels.
+/// eval() is exactly the pre-batched standalone probe; eval_many() fuses a
+/// group by sharing each activation batch's conv im2col + panel pack across
+/// every model (the per-model weight packs and reduction chains are
+/// untouched, so each model's result is bit-identical to its solo eval) and
+/// driving the k×batches grid through the kernel pool — one leased instance
+/// per model, because layers cache activations and a single instance cannot
+/// run two batches concurrently.
+class ModelEvalBackend final : public EvalBackend {
+ public:
+  explicit ModelEvalBackend(EvalEngine& engine) : engine_(engine) {}
+
+  data::EvalResult eval(std::span<const float> params,
+                        const BatchedSplit& batched, ThreadPool* pool) override {
+    (void)pool;  // Single probe: kernels stay serial, as the probe sites did.
+    EvalEngine::ModelLease lease = engine_.acquire();
+    lease.model().set_parameters(params);
+    return engine_.evaluate(lease.model(), batched);
+  }
+
+  void eval_many(std::span<const std::span<const float>> params,
+                 const BatchedSplit& batched,
+                 std::span<data::EvalResult> results,
+                 ThreadPool* pool) override;
+
+ private:
+  EvalEngine& engine_;
+};
+
+void ModelEvalBackend::eval_many(std::span<const std::span<const float>> params,
+                                 const BatchedSplit& batched,
+                                 std::span<data::EvalResult> results,
+                                 ThreadPool* pool) {
+  const std::size_t k = params.size();
+  assert(results.size() >= k);
+  if (k == 0) return;
+  if (batched.samples() == 0) {
+    for (std::size_t i = 0; i < k; ++i) results[i] = data::EvalResult{};
+    return;
+  }
+  // The reference-kernel dispatch has no prepacked form, and a lone model
+  // has nothing to share; both take the standalone path.
+  if (k == 1 || nn::ops::reference_kernels_enabled()) {
+    for (std::size_t i = 0; i < k; ++i) {
+      results[i] = eval(params[i], batched, pool);
+    }
+    return;
+  }
+
+  obs::TraceScope span("eval.forward", &eval_us_histogram());
+  const std::size_t batches = batched.batch_count();
+  std::vector<EvalEngine::ModelLease> leases;
+  leases.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    leases.push_back(engine_.acquire());
+    leases.back().model().set_parameters(params[i]);
+  }
+
+  // Input-pack sharing applies when the stack opens with a convolution
+  // (every leased model has the same architecture); other stacks still get
+  // the grid parallelism with per-model full forwards.
+  nn::Model& probe = leases.front().model();
+  const bool fuse_conv =
+      probe.layer_count() > 1 && probe.layer(0).name() == "Conv2D";
+
+  std::vector<BatchScore> grid(k * batches);
+  if (fuse_conv) {
+    const nn::ops::Conv2DShape shape =
+        static_cast<nn::Conv2D&>(probe.layer(0)).shape();
+    nn::ops::Workspace pack_scratch;
+    std::vector<float> packed;
+    for (std::size_t b = 0; b < batches; ++b) {
+      const nn::Tensor& x = batched.features(b);
+      const std::size_t h = x.dim(2), w = x.dim(3);
+      const std::size_t per_sample =
+          nn::ops::conv2d_packed_input_floats(shape, h, w);
+      packed.resize(x.dim(0) * per_sample);
+      nn::ops::conv2d_pack_input(x, shape, packed, &pack_scratch);
+      pack_reuse_counter().add(k - 1);
+      run_tasks(pool, k, [&](std::size_t i) {
+        nn::Model& model = leases[i].model();
+        auto& conv = static_cast<nn::Conv2D&>(model.layer(0));
+        nn::Tensor y1({x.dim(0), shape.out_channels, shape.out_extent(h),
+                       shape.out_extent(w)});
+        nn::ops::conv2d_forward_prepacked(packed, x.dim(0), h, w,
+                                          conv.weight(), conv.bias(), shape,
+                                          y1);
+        const nn::Tensor logits =
+            model.forward_from(1, y1, /*training=*/false);
+        grid[i * batches + b] = score_batch(logits, batched.labels(b));
+      });
+    }
+  } else {
+    run_tasks(pool, k, [&](std::size_t i) {
+      nn::Model& model = leases[i].model();
+      for (std::size_t b = 0; b < batches; ++b) {
+        const nn::Tensor logits =
+            model.forward(batched.features(b), /*training=*/false);
+        grid[i * batches + b] = score_batch(logits, batched.labels(b));
+      }
+    });
+  }
+
+  // Serial reduction in (model, batch) order: the same double-precision
+  // chain and counter totals as k standalone evaluate() calls.
+  for (std::size_t i = 0; i < k; ++i) {
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    for (std::size_t b = 0; b < batches; ++b) {
+      const std::span<const std::int32_t> labels = batched.labels(b);
+      loss_sum += static_cast<double>(grid[i * batches + b].loss) *
+                  static_cast<double>(labels.size());
+      correct += grid[i * batches + b].correct;
+      forward_counter().increment();
+      example_counter().add(labels.size());
+    }
+    results[i].samples = batched.samples();
+    results[i].loss = loss_sum / static_cast<double>(batched.samples());
+    results[i].accuracy =
+        static_cast<double>(correct) / static_cast<double>(batched.samples());
+  }
+}
+
 }  // namespace
+
+void EvalBackend::eval_many(std::span<const std::span<const float>> params,
+                            const BatchedSplit& batched,
+                            std::span<data::EvalResult> results,
+                            ThreadPool* pool) {
+  assert(results.size() >= params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    results[i] = eval(params[i], batched, pool);
+  }
+}
+
+ParamsKey::ParamsKey() : ParamsKey(std::vector<tangle::PayloadId>{}) {}
+
+ParamsKey::ParamsKey(std::vector<tangle::PayloadId> payloads)
+    : payloads_(std::move(payloads)),
+      hash_(fnv1a(payloads_.data(),
+                  payloads_.size() * sizeof(tangle::PayloadId), kFnvBasis)) {}
 
 BatchedSplit::BatchedSplit(const data::DataSplit& split,
                            std::size_t batch_size, SplitKey key)
@@ -127,10 +318,20 @@ BatchedSplit::BatchedSplit(const data::DataSplit& split,
 
 EvalEngine::EvalEngine(nn::ModelFactory factory, EvalEngineConfig config)
     : factory_(std::move(factory)),
-      config_(config),
+      config_(std::move(config)),
       shards_(std::make_unique<Shard[]>(kShards)) {
   assert(factory_);
-  assert(config_.batch_size > 0);
+  // Cached results are a pure function of (params, split, batch
+  // boundaries); a divergent batch size would silently make cached and
+  // direct evaluations disagree, so reject it outright.
+  if (config_.batch_size != data::kEvalBatchSize) {
+    throw std::invalid_argument(
+        "EvalEngineConfig::batch_size must equal data::kEvalBatchSize so "
+        "cached and direct evaluations share batch boundaries");
+  }
+  backend_ = config_.backend_factory != nullptr
+                 ? config_.backend_factory(*this)
+                 : std::make_unique<ModelEvalBackend>(*this);
 }
 
 EvalEngine::ModelLease::~ModelLease() {
@@ -267,9 +468,8 @@ EvalOutcome EvalEngine::payload_eval(const tangle::ModelStore& store,
     return EvalOutcome{cached, true};
   }
   cache_miss_counter().increment();
-  ModelLease lease = acquire();
-  lease.model().set_parameters(store.get(payload));
-  const data::EvalResult result = evaluate(lease.model(), batched);
+  const data::EvalResult result =
+      backend_->eval(store.get(payload), batched, nullptr);
   insert(result_key, result);
   return EvalOutcome{result, false};
 }
@@ -284,19 +484,114 @@ EvalOutcome EvalEngine::params_eval(const ParamsKey& key,
     return EvalOutcome{cached, true};
   }
   cache_miss_counter().increment();
-  ModelLease lease = acquire();
-  lease.model().set_parameters(params);
-  const data::EvalResult result = evaluate(lease.model(), batched);
+  const data::EvalResult result = backend_->eval(params, batched, nullptr);
   insert(result_key, result);
   return EvalOutcome{result, false};
 }
 
+std::vector<EvalOutcome> EvalEngine::evaluate_many(
+    std::span<const EvalRequest> requests, const BatchedSplit& batched,
+    ThreadPool* pool) {
+  std::vector<EvalOutcome> outcomes(requests.size());
+  if (requests.empty()) return outcomes;
+
+  if (!config_.use_batched) {
+    // Off-switch: replay the exact standalone probe per request, in order —
+    // byte-identical results and counter sequences to the pre-batched code.
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const EvalRequest& request = requests[i];
+      if (request.key.has_value()) {
+        outcomes[i] = params_eval(*request.key, request.params, batched);
+      } else {
+        outcomes[i] =
+            EvalOutcome{backend_->eval(request.params, batched, nullptr),
+                        false};
+      }
+    }
+    return outcomes;
+  }
+
+  batched_group_counter().increment();
+
+  // Resolve cache hits up front so only misses enter the fused pass. A key
+  // duplicated within the group is evaluated once: the first occurrence is
+  // the miss, later ones resolve as hits against its result — the same
+  // hit/miss sequence the serial probe order produces (where the first
+  // probe's insert precedes the second probe's lookup).
+  std::vector<std::size_t> miss_requests;  // request index per fused slot
+  std::vector<std::pair<std::size_t, std::size_t>> aliases;  // request, slot
+  miss_requests.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const EvalRequest& request = requests[i];
+    if (!request.key.has_value()) {
+      // No cache identity: always evaluated, never cached or deduplicated.
+      miss_requests.push_back(i);
+      continue;
+    }
+    data::EvalResult cached;
+    if (lookup(ResultKey{*request.key, batched.key()}, cached)) {
+      cache_hit_counter().increment();
+      outcomes[i] = EvalOutcome{cached, true};
+      continue;
+    }
+    if (config_.use_cache) {
+      bool aliased = false;
+      for (std::size_t slot = 0; slot < miss_requests.size(); ++slot) {
+        const EvalRequest& prior = requests[miss_requests[slot]];
+        if (prior.key.has_value() && *prior.key == *request.key) {
+          cache_hit_counter().increment();
+          aliases.emplace_back(i, slot);
+          aliased = true;
+          break;
+        }
+      }
+      if (aliased) continue;
+    }
+    cache_miss_counter().increment();
+    miss_requests.push_back(i);
+  }
+
+  std::vector<data::EvalResult> results(miss_requests.size());
+  if (!miss_requests.empty()) {
+    batched_model_counter().add(miss_requests.size());
+    std::vector<std::span<const float>> params(miss_requests.size());
+    for (std::size_t slot = 0; slot < miss_requests.size(); ++slot) {
+      params[slot] = requests[miss_requests[slot]].params;
+    }
+    backend_->eval_many(params, batched, results, pool);
+    for (std::size_t slot = 0; slot < miss_requests.size(); ++slot) {
+      const EvalRequest& request = requests[miss_requests[slot]];
+      outcomes[miss_requests[slot]] = EvalOutcome{results[slot], false};
+      if (request.key.has_value()) {
+        insert(ResultKey{*request.key, batched.key()}, results[slot]);
+      }
+    }
+  }
+  for (const auto& [request_index, slot] : aliases) {
+    outcomes[request_index] = EvalOutcome{results[slot], true};
+  }
+  return outcomes;
+}
+
+std::vector<EvalOutcome> EvalEngine::payloads_eval_many(
+    const tangle::ModelStore& store,
+    std::span<const tangle::PayloadId> payloads, const BatchedSplit& batched,
+    ThreadPool* pool) {
+  std::vector<EvalRequest> requests(payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    requests[i].params = store.get(payloads[i]);
+    requests[i].key = ParamsKey::single(payloads[i]);
+  }
+  return evaluate_many(requests, batched, pool);
+}
+
 std::size_t EvalEngine::ResultKeyHash::operator()(
     const ResultKey& key) const noexcept {
-  std::uint64_t state = kFnvBasis;
-  state = fnv1a(key.params.payloads.data(),
-                key.params.payloads.size() * sizeof(tangle::PayloadId), state);
-  state = fnv1a(&key.split, sizeof(SplitKey), state);
+  // The payload-list pass is precomputed by ParamsKey at construction; only
+  // the fixed-size split key is mixed per lookup. The resulting value is
+  // unchanged from hashing both parts here.
+  const std::uint64_t state =
+      fnv1a(&key.split, sizeof(SplitKey), key.params.hash());
   return static_cast<std::size_t>(mix64(state));
 }
 

@@ -36,7 +36,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -47,19 +49,36 @@
 #include "support/sync.hpp"
 #include "tangle/model_store.hpp"
 
+namespace tanglefl {
+class ThreadPool;
+}
+
 namespace tanglefl::core {
+
+class EvalBackend;
+class EvalEngine;
 
 struct EvalEngineConfig {
   // Master switch for the (params, split) result cache and the cross-call
   // BatchedSplit reuse. Off still pools model instances and pre-batches
   // once per probe site — outputs are byte-identical either way.
   bool use_cache = true;
-  // Evaluation minibatch size. Must stay equal to data::evaluate's default
-  // so cached and direct paths accumulate losses over identical batches.
-  std::size_t batch_size = 64;
+  // Routes evaluate_many() groups through the backend's fused multi-model
+  // pass (shared input packs + grid parallelism). Off replays the exact
+  // per-item serial path; results are byte-identical either way.
+  bool use_batched = true;
+  // Evaluation minibatch size. Must equal data::kEvalBatchSize so cached
+  // and direct paths accumulate losses over identical batches; the engine
+  // constructor rejects any other value.
+  std::size_t batch_size = data::kEvalBatchSize;
   // LRU byte budget for retained BatchedSplits (user validation splits are
   // small and stay resident; large one-shot pooled-test splits rotate out).
   std::size_t batched_budget_bytes = 256ull << 20;
+  // Optional backend override. When set, the engine runs every forward
+  // evaluation through the returned backend instead of the default pooled
+  // nn::Model path; the EvalEngine reference stays valid for the backend's
+  // lifetime. Null selects the built-in model backend.
+  std::function<std::unique_ptr<EvalBackend>(EvalEngine&)> backend_factory;
 };
 
 /// 128-bit content identity of a DataSplit (feature bytes + labels).
@@ -100,18 +119,71 @@ class BatchedSplit {
 
 /// Identity of a parameter vector as the ordered ModelStore payload list it
 /// averages. Exact: payload ids are content-deduplicated by the store, and
-/// nn::average_params is a pure function of the ordered list.
-struct ParamsKey {
-  std::vector<tangle::PayloadId> payloads;
+/// nn::average_params is a pure function of the ordered list. The payload
+/// hash is computed once at construction so hot probe loops don't re-hash
+/// the id list on every shard lookup.
+class ParamsKey {
+ public:
+  ParamsKey();
+  // Intentionally implicit: probe sites build keys as ParamsKey{ids}.
+  ParamsKey(std::vector<tangle::PayloadId> payloads);  // NOLINT
 
-  static ParamsKey single(tangle::PayloadId id) { return ParamsKey{{id}}; }
+  static ParamsKey single(tangle::PayloadId id) {
+    return ParamsKey(std::vector<tangle::PayloadId>{id});
+  }
 
-  friend bool operator==(const ParamsKey&, const ParamsKey&) = default;
+  const std::vector<tangle::PayloadId>& payloads() const noexcept {
+    return payloads_;
+  }
+  std::uint64_t hash() const noexcept { return hash_; }
+
+  friend bool operator==(const ParamsKey& a, const ParamsKey& b) {
+    return a.payloads_ == b.payloads_;
+  }
+
+ private:
+  std::vector<tangle::PayloadId> payloads_;
+  std::uint64_t hash_ = 0;
 };
 
 struct EvalOutcome {
   data::EvalResult result;
   bool cache_hit = false;
+};
+
+/// One probe in an evaluate_many group. A keyed request participates in the
+/// result cache exactly like payload_eval/params_eval; a keyless request
+/// (freshly trained weights with no payload identity) is always evaluated
+/// and never cached, matching evaluate(). `params` must stay valid for the
+/// duration of the call.
+struct EvalRequest {
+  std::span<const float> params;
+  std::optional<ParamsKey> key;
+};
+
+/// Pluggable forward-evaluation runtime. Every cache miss the engine takes
+/// runs through one of these; the default backend leases pooled nn::Model
+/// instances and runs the ops kernels. An alternative runtime (quantized
+/// weights, an external interpreter) implements the same flat-span contract
+/// and slots in via EvalEngineConfig::backend_factory without touching any
+/// probe site.
+class EvalBackend {
+ public:
+  virtual ~EvalBackend() = default;
+
+  /// Forward-evaluates one parameter vector over the prepared batches.
+  /// Must be a pure function of (params, batched) — results are cached.
+  virtual data::EvalResult eval(std::span<const float> params,
+                                const BatchedSplit& batched,
+                                ThreadPool* pool) = 0;
+
+  /// Evaluates k parameter vectors; results[i] corresponds to params[i] and
+  /// must be bit-identical to eval(params[i], batched, ...). The base
+  /// implementation loops eval(); backends may fuse shared work.
+  virtual void eval_many(std::span<const std::span<const float>> params,
+                         const BatchedSplit& batched,
+                         std::span<data::EvalResult> results,
+                         ThreadPool* pool);
 };
 
 class EvalEngine {
@@ -173,6 +245,24 @@ class EvalEngine {
   EvalOutcome params_eval(const ParamsKey& key, std::span<const float> params,
                           const BatchedSplit& batched);
 
+  /// Batched evaluation of a probe group: cache hits are resolved up front
+  /// (first occurrence of a duplicated key counts as the miss, later ones
+  /// as hits, mirroring the serial probe order) and only the misses enter
+  /// the backend's fused pass, whose k×batches work grid runs on `pool`.
+  /// outcomes[i] is bit-identical to probing requests[i] alone, including
+  /// the hit/miss flags and counter totals. With config.use_batched off the
+  /// group degenerates to the exact per-item serial path.
+  std::vector<EvalOutcome> evaluate_many(std::span<const EvalRequest> requests,
+                                         const BatchedSplit& batched,
+                                         ThreadPool* pool = nullptr);
+
+  /// evaluate_many over store payloads: requests[i] = (store.get(ids[i]),
+  /// ParamsKey::single(ids[i])).
+  std::vector<EvalOutcome> payloads_eval_many(
+      const tangle::ModelStore& store,
+      std::span<const tangle::PayloadId> payloads, const BatchedSplit& batched,
+      ThreadPool* pool = nullptr);
+
   bool cache_enabled() const noexcept { return config_.use_cache; }
   const EvalEngineConfig& config() const noexcept { return config_; }
 
@@ -217,6 +307,9 @@ class EvalEngine {
   nn::ModelFactory factory_;
   // lint:allow(unannotated-guard) immutable after construction
   EvalEngineConfig config_;
+  // lint:allow(unannotated-guard) immutable after construction; the backend
+  // is internally thread-safe (it only uses the engine's locked pool).
+  std::unique_ptr<EvalBackend> backend_;
 
   mutable Mutex pool_mutex_;
   std::vector<std::unique_ptr<nn::Model>> pool_

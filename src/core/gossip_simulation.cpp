@@ -54,6 +54,13 @@ nn::ParamVector make_genesis_params(const nn::ModelFactory& factory,
   return model.get_parameters();
 }
 
+EvalEngineConfig eval_engine_config(bool use_cache, bool use_batched) {
+  EvalEngineConfig config;
+  config.use_cache = use_cache;
+  config.use_batched = use_batched;
+  return config;
+}
+
 }  // namespace
 
 GossipSimulation::GossipSimulation(const data::FederatedDataset& dataset,
@@ -69,7 +76,9 @@ GossipSimulation::GossipSimulation(const data::FederatedDataset& dataset,
             factory_, master_rng_.split(streams::kGenesis)));
         return tangle::Tangle(added.id, added.hash);
       }()),
-      eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}),
+      eval_engine_(factory_,
+                   eval_engine_config(config.use_eval_cache,
+                                      config.use_eval_batch)),
       pruner_(config.prune) {
   if (config_.timeline != nullptr) {
     health_ = std::make_unique<tangle::HealthTracker>(config_.health);
@@ -262,14 +271,15 @@ RoundRecord GossipSimulation::evaluate(std::uint64_t round) {
   const data::DataSplit pooled = dataset_->pooled_test(users);
   if (pooled.empty()) return record;
 
-  // Only loss/accuracy are reported, so the cached params_eval path
+  // Only loss/accuracy are reported, so one cached batched probe
   // (reference payload list × pooled-split identity) covers the whole eval.
   const std::shared_ptr<const BatchedSplit> prepared =
       eval_engine_.prepare(pooled);
+  const EvalRequest request{reference.params, ParamsKey{reference.payloads}};
   const data::EvalResult eval =
       eval_engine_
-          .params_eval(ParamsKey{reference.payloads}, reference.params,
-                       *prepared)
+          .evaluate_many(std::span<const EvalRequest>(&request, 1), *prepared)
+          .front()
           .result;
   record.accuracy = eval.accuracy;
   record.loss = eval.loss;

@@ -55,6 +55,10 @@ struct GossipConfig {
   // Cache loss-probe results across probes and rounds in the shared eval
   // engine; byte-identical outputs either way (core/eval_engine.hpp).
   bool use_eval_cache = true;
+  // Batched multi-model candidate probes (EvalEngineConfig::use_batched):
+  // off replays the exact per-probe serial path. Outputs are byte-identical
+  // either way.
+  bool use_eval_batch = true;
 
   // Milestone pruning. The milestone must be covered by the union of all
   // replica tip sets, so a replica lagging at the genesis blocks any

@@ -5,6 +5,7 @@
 #include "core/rng_streams.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 #include "obs/metrics.hpp"
@@ -119,7 +120,8 @@ std::vector<tangle::TxIndex> HonestNode::choose_parents(
   if (config_.use_biased_walk) {
     LocalLossCache cache =
         context.eval != nullptr
-            ? LocalLossCache(*context.eval, context.store, prepared)
+            ? LocalLossCache(*context.eval, context.store, prepared,
+                             context.kernel_pool)
             : LocalLossCache(context.store, context.factory, validation);
     const BiasedWalkConfig walk_config{config_.tip_selection.alpha,
                                        config_.walk_loss_beta};
@@ -151,23 +153,33 @@ std::vector<tangle::TxIndex> HonestNode::choose_parents(
 
   std::vector<std::pair<double, tangle::TxIndex>> scored;
   scored.reserve(distinct.size());
-  for (const tangle::TxIndex tip : distinct) {
-    const tangle::PayloadId payload =
-        context.view.tangle().transaction(tip).payload;
-    double loss = 0.0;
-    candidate_probe_counter().increment();
-    if (prepared != nullptr) {
-      const EvalOutcome outcome =
-          context.eval->payload_eval(context.store, payload, *prepared);
-      loss = outcome.result.loss;
-      if (!outcome.cache_hit) candidate_eval_counter().increment();
-    } else {
-      loss = params_loss(context.factory, context.store.get(payload),
-                         validation);
-      candidate_eval_counter().increment();
+  if (prepared != nullptr) {
+    // One batched group scores every distinct candidate: cache hits resolve
+    // up front and the misses share input packs in the engine's fused pass.
+    std::vector<tangle::PayloadId> payloads;
+    payloads.reserve(distinct.size());
+    for (const tangle::TxIndex tip : distinct) {
+      payloads.push_back(context.view.tangle().transaction(tip).payload);
     }
-    candidate_loss_histogram().record(loss);
-    scored.emplace_back(loss, tip);
+    const std::vector<EvalOutcome> outcomes = context.eval->payloads_eval_many(
+        context.store, payloads, *prepared, context.kernel_pool);
+    for (std::size_t i = 0; i < distinct.size(); ++i) {
+      candidate_probe_counter().increment();
+      if (!outcomes[i].cache_hit) candidate_eval_counter().increment();
+      candidate_loss_histogram().record(outcomes[i].result.loss);
+      scored.emplace_back(outcomes[i].result.loss, distinct[i]);
+    }
+  } else {
+    for (const tangle::TxIndex tip : distinct) {
+      const tangle::PayloadId payload =
+          context.view.tangle().transaction(tip).payload;
+      candidate_probe_counter().increment();
+      const double loss = params_loss(context.factory,
+                                      context.store.get(payload), validation);
+      candidate_eval_counter().increment();
+      candidate_loss_histogram().record(loss);
+      scored.emplace_back(loss, tip);
+    }
   }
   std::sort(scored.begin(), scored.end());
 
@@ -254,14 +266,18 @@ std::optional<PublishRequest> HonestNode::step(NodeContext& context,
   double new_loss = 0.0;
   double reference_loss = 0.0;
   if (prepared != nullptr) {
-    // The freshly trained parameters have no payload identity yet —
-    // uncached forward. The reference average is identified by its ordered
-    // payload list, so its loss caches across steps and rounds.
-    new_loss = context.eval->evaluate(model, *prepared).loss;
-    reference_loss = context.eval
-                         ->params_eval(ParamsKey{reference.payloads},
-                                       reference.params, *prepared)
-                         .result.loss;
+    // One group fuses the publish gate's two forwards. The freshly trained
+    // parameters have no payload identity yet — keyless, so uncached
+    // (`outgoing` is exactly what the model holds, transformed or not). The
+    // reference average is identified by its ordered payload list, so its
+    // loss caches across steps and rounds.
+    const std::array<EvalRequest, 2> requests{
+        EvalRequest{outgoing, std::nullopt},
+        EvalRequest{reference.params, ParamsKey{reference.payloads}}};
+    const std::vector<EvalOutcome> outcomes =
+        context.eval->evaluate_many(requests, *prepared, context.kernel_pool);
+    new_loss = outcomes[0].result.loss;
+    reference_loss = outcomes[1].result.loss;
   } else {
     new_loss = data::evaluate(model, validation).loss;
     reference_loss = params_loss(context.factory, reference.params, validation);

@@ -50,6 +50,13 @@ nn::ParamVector make_genesis_params(const nn::ModelFactory& factory,
   return model.get_parameters();
 }
 
+EvalEngineConfig eval_engine_config(bool use_cache, bool use_batched) {
+  EvalEngineConfig config;
+  config.use_cache = use_cache;
+  config.use_batched = use_batched;
+  return config;
+}
+
 }  // namespace
 
 TangleSimulation::TangleSimulation(const data::FederatedDataset& dataset,
@@ -71,7 +78,9 @@ TangleSimulation::TangleSimulation(const data::FederatedDataset& dataset,
       kernel_pool_(config.kernel_threads > 1
                        ? std::make_unique<ThreadPool>(config.kernel_threads)
                        : nullptr),
-      eval_engine_(factory_, EvalEngineConfig{config.use_eval_cache}),
+      eval_engine_(factory_,
+                   eval_engine_config(config.use_eval_cache,
+                                      config.use_eval_batch)),
       pruner_(config.prune) {
   if (config_.auto_confidence_samples) {
     config_.node.reference.confidence.sample_rounds = config_.nodes_per_round;
@@ -295,15 +304,19 @@ RoundRecord TangleSimulation::evaluate(std::uint64_t round) {
   const ReferenceResult reference = consensus_reference();
   const std::shared_ptr<const BatchedSplit> prepared =
       eval_engine_.prepare(pooled);
-  EvalEngine::ModelLease lease = eval_engine_.acquire();
-  lease.model().set_parameters(reference.params);
+  const EvalRequest request{reference.params, ParamsKey{reference.payloads}};
   const data::EvalResult eval =
       eval_engine_
-          .evaluate_cached(ParamsKey{reference.payloads}, lease.model(),
-                           *prepared)
+          .evaluate_many(std::span<const EvalRequest>(&request, 1), *prepared,
+                         kernel_pool_.get())
+          .front()
           .result;
   record.accuracy = eval.accuracy;
   record.loss = eval.loss;
+  // The attack metrics run direct forwards over transformed inputs, so they
+  // still need a concrete model instance carrying the reference weights.
+  EvalEngine::ModelLease lease = eval_engine_.acquire();
+  lease.model().set_parameters(reference.params);
   record.target_misclassification = data::targeted_misclassification_rate(
       lease.model(), pooled, config_.flip.source_class,
       config_.flip.target_class);

@@ -70,6 +70,10 @@ struct SimulationConfig {
   // (params, split), so outputs are byte-identical either way; disable
   // only to measure the redundant re-evaluation cost.
   bool use_eval_cache = true;
+  // Batched multi-model candidate probes (EvalEngineConfig::use_batched):
+  // off replays the exact per-probe serial path. Outputs are byte-identical
+  // either way.
+  bool use_eval_batch = true;
 
   // Paper: "we set the number of sampling rounds for establishing the
   // consensus and for selecting the parent tips for training equal to the

@@ -30,6 +30,12 @@ struct EvalResult {
   std::size_t samples = 0;
 };
 
+/// Default evaluation minibatch size. Cached eval results are a function of
+/// (parameters, split, batch boundaries), so anything that caches or
+/// pre-batches evaluations (core::EvalEngine) must use this exact value —
+/// the engine enforces it at construction.
+inline constexpr std::size_t kEvalBatchSize = 64;
+
 /// Runs `config.epochs` of minibatch SGD over `split`, mutating `model` in
 /// place. Batching order is drawn from `rng`, so results are reproducible.
 /// Returns the mean training loss of the final epoch.
@@ -38,7 +44,7 @@ double train_local(nn::Model& model, const DataSplit& split,
 
 /// Mean loss and accuracy over all of `split`, evaluated in minibatches.
 EvalResult evaluate(nn::Model& model, const DataSplit& split,
-                    std::size_t batch_size = 64);
+                    std::size_t batch_size = kEvalBatchSize);
 
 /// Fraction of true `source_class` samples predicted as `target_class` —
 /// the attack-success metric of Fig. 6b. Returns 0 when no source-class
@@ -47,7 +53,7 @@ double targeted_misclassification_rate(nn::Model& model,
                                        const DataSplit& split,
                                        std::int32_t source_class,
                                        std::int32_t target_class,
-                                       std::size_t batch_size = 64);
+                                       std::size_t batch_size = kEvalBatchSize);
 
 /// Backdoor attack-success rate: stamps `trigger` into every sample of
 /// `clean_test` whose true label is not already the target class and
@@ -55,6 +61,6 @@ double targeted_misclassification_rate(nn::Model& model,
 /// exist.
 double backdoor_success_rate(nn::Model& model, const DataSplit& clean_test,
                              const BackdoorTrigger& trigger,
-                             std::size_t batch_size = 64);
+                             std::size_t batch_size = kEvalBatchSize);
 
 }  // namespace tanglefl::data

@@ -117,6 +117,16 @@ class Conv2D final : public Layer {
   std::string name() const override { return "Conv2D"; }
   std::unique_ptr<Layer> clone() const override;
 
+  // Read-only views for the eval engine's fused multi-model pass, which
+  // shares one packed input operand across models and needs the layer's
+  // geometry and parameters to replay the per-model GEMMs.
+  const Tensor& weight() const noexcept { return weight_; }
+  const Tensor& bias() const noexcept { return bias_; }
+  ops::Conv2DShape shape() const noexcept {
+    return ops::Conv2DShape{in_channels_, out_channels_, kernel_, stride_,
+                            padding_};
+  }
+
  private:
   ops::Conv2DShape conv_shape();
 

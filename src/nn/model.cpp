@@ -48,6 +48,16 @@ Tensor Model::forward(const Tensor& input, bool training) {
   return x;
 }
 
+Tensor Model::forward_from(std::size_t first_layer, const Tensor& input,
+                           bool training) {
+  obs::TraceScope span("nn.forward", &forward_timing());
+  Tensor x = input;
+  for (std::size_t i = first_layer; i < layers_.size(); ++i) {
+    x = layers_[i]->forward(x, training);
+  }
+  return x;
+}
+
 Tensor Model::backward(const Tensor& grad_output) {
   obs::TraceScope span("nn.backward", &backward_timing());
   Tensor g = grad_output;

@@ -36,6 +36,13 @@ class Model {
   /// Runs the full stack; `training` toggles dropout.
   Tensor forward(const Tensor& input, bool training = false);
 
+  /// Runs layers [first_layer, layer_count()) on `input`, which must be the
+  /// bit-exact output of layer first_layer - 1. Lets the eval engine's fused
+  /// pass substitute a shared-operand computation of the first layer and
+  /// resume the ordinary stack, producing the same bits as forward().
+  Tensor forward_from(std::size_t first_layer, const Tensor& input,
+                      bool training = false);
+
   /// Backpropagates d(loss)/d(output); parameter gradients accumulate into
   /// each layer's gradient tensors. Returns d(loss)/d(input).
   Tensor backward(const Tensor& grad_output);

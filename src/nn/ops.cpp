@@ -513,6 +513,32 @@ void gemm(const float* a, std::size_t lda, const float* b, std::size_t ldb,
   gemm_flop_counter().add(flops);
 }
 
+std::size_t gemm_packed_b_floats(std::size_t depth, std::size_t n) {
+  return packed_b_floats(depth, n);
+}
+
+void gemm_pack_b(const float* b, std::size_t ldb, std::size_t depth,
+                 std::size_t n, float* packed) {
+  pack_b(b, ldb, depth, n, packed);
+}
+
+void gemm_prepacked_b(const float* a, std::size_t lda, const float* packed_b,
+                      float* c, std::size_t ldc, std::size_t m, std::size_t k,
+                      std::size_t n, Accumulate accumulate, ThreadPool* pool) {
+  KernelTimer timer(gemm_time_histogram());
+  const std::size_t flops = 2 * m * k * n;
+  if (accumulate == Accumulate::kAdd) {
+    partition_rows(pool, m, flops, [&](std::size_t r0, std::size_t r1) {
+      product_rows<true>(a, lda, 1, packed_b, c, ldc, k, r0, r1, n);
+    });
+  } else {
+    partition_rows(pool, m, flops, [&](std::size_t r0, std::size_t r1) {
+      product_rows<false>(a, lda, 1, packed_b, c, ldc, k, r0, r1, n);
+    });
+  }
+  gemm_flop_counter().add(flops);
+}
+
 void gemm_trans_a(const float* a, std::size_t lda, const float* b,
                   std::size_t ldb, float* c, std::size_t ldc, std::size_t m,
                   std::size_t k, std::size_t n, Accumulate accumulate,
@@ -673,6 +699,64 @@ void conv2d_forward(const Tensor& x, const Tensor& weights, const Tensor& bias,
     for (std::size_t o = 0; o < oc; ++o) std::fill_n(yb + o * ohow, ohow, pb[o]);
     gemm(pw, ckk, col.data(), ohow, yb, ohow, oc, ckk, ohow, Accumulate::kAdd,
          pool);
+  }
+  conv_flop_counter().add(2 * batch * oc * ckk * ohow);
+}
+
+std::size_t conv2d_packed_input_floats(const Conv2DShape& shape, std::size_t h,
+                                       std::size_t w) {
+  const std::size_t ckk = shape.in_channels * shape.kernel * shape.kernel;
+  return packed_b_floats(ckk, shape.out_extent(h) * shape.out_extent(w));
+}
+
+void conv2d_pack_input(const Tensor& x, const Conv2DShape& shape,
+                       std::span<float> packed, Workspace* workspace) {
+  assert(x.rank() == 4 && x.dim(1) == shape.in_channels);
+  const std::size_t batch = x.dim(0);
+  const std::size_t ic = shape.in_channels;
+  const std::size_t h = x.dim(2), w = x.dim(3);
+  const std::size_t k = shape.kernel, stride = shape.stride,
+                    pad = shape.padding;
+  const std::size_t oh = shape.out_extent(h), ow = shape.out_extent(w);
+  const std::size_t ckk = ic * k * k;
+  const std::size_t ohow = oh * ow;
+  const std::size_t per_sample = packed_b_floats(ckk, ohow);
+  assert(packed.size() >= batch * per_sample);
+  Workspace& arena = workspace != nullptr ? *workspace : thread_workspace();
+  arena.reset();
+  const std::span<float> col = arena.take(ckk * ohow);
+  for (std::size_t b = 0; b < batch; ++b) {
+    im2col(x.data() + b * ic * h * w, ic, h, w, k, stride, pad, oh, ow,
+           col.data());
+    pack_b(col.data(), ohow, ckk, ohow, packed.data() + b * per_sample);
+  }
+}
+
+void conv2d_forward_prepacked(std::span<const float> packed_x,
+                              std::size_t batch, std::size_t h, std::size_t w,
+                              const Tensor& weights, const Tensor& bias,
+                              const Conv2DShape& shape, Tensor& y,
+                              ThreadPool* pool) {
+  assert(weights.rank() == 4 && y.rank() == 4);
+  const std::size_t ic = shape.in_channels, oc = shape.out_channels;
+  const std::size_t k = shape.kernel;
+  const std::size_t oh = shape.out_extent(h), ow = shape.out_extent(w);
+  assert(weights.dim(0) == oc && weights.dim(1) == ic);
+  assert(y.dim(0) == batch && y.dim(1) == oc && y.dim(2) == oh &&
+         y.dim(3) == ow);
+  KernelTimer timer(conv_time_histogram());
+  const std::size_t ckk = ic * k * k;
+  const std::size_t ohow = oh * ow;
+  const std::size_t per_sample = packed_b_floats(ckk, ohow);
+  assert(packed_x.size() >= batch * per_sample);
+  const float* pw = weights.data();  // (oc, ckk) row-major
+  const float* pb = bias.data();
+  float* py = y.data();
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* yb = py + b * oc * ohow;
+    for (std::size_t o = 0; o < oc; ++o) std::fill_n(yb + o * ohow, ohow, pb[o]);
+    gemm_prepacked_b(pw, ckk, packed_x.data() + b * per_sample, yb, ohow, oc,
+                     ckk, ohow, Accumulate::kAdd, pool);
   }
   conv_flop_counter().add(2 * batch * oc * ckk * ohow);
 }

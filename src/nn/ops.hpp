@@ -68,6 +68,29 @@ void gemm(const float* a, std::size_t lda, const float* b, std::size_t ldb,
           std::size_t n, Accumulate accumulate = Accumulate::kOverwrite,
           ThreadPool* pool = nullptr);
 
+/// Shared-operand packing: gemm() copies B into tile panels on every call,
+/// which is pure waste when the same B multiplies many A operands (k
+/// candidate models forwarding one activation batch). These entry points
+/// split the pack off so callers pay it once and reuse it; the packed
+/// layout is the same depth-major panel format gemm() builds internally,
+/// so gemm_prepacked_b() is bit-identical to gemm() on the original B.
+
+/// Panel floats needed to prepack a (depth x n) B operand (tail included).
+std::size_t gemm_packed_b_floats(std::size_t depth, std::size_t n);
+
+/// Packs row-major B(depth, n) into the panel layout gemm_prepacked_b
+/// consumes. Pure data movement — bit-transparent.
+void gemm_pack_b(const float* b, std::size_t ldb, std::size_t depth,
+                 std::size_t n, float* packed);
+
+/// gemm() reading a B operand already packed by gemm_pack_b. Bit-identical
+/// to gemm(a, lda, b, ldb, ...) on the B that was packed.
+void gemm_prepacked_b(const float* a, std::size_t lda, const float* packed_b,
+                      float* c, std::size_t ldc, std::size_t m, std::size_t k,
+                      std::size_t n,
+                      Accumulate accumulate = Accumulate::kOverwrite,
+                      ThreadPool* pool = nullptr);
+
 /// C(k,n) = A(m,k)^T * B(m,n); reduction over m (ascending).
 void gemm_trans_a(const float* a, std::size_t lda, const float* b,
                   std::size_t ldb, float* c, std::size_t ldc, std::size_t m,
@@ -121,6 +144,32 @@ struct Conv2DShape {
 void conv2d_forward(const Tensor& x, const Tensor& weights, const Tensor& bias,
                     const Conv2DShape& shape, Tensor& y,
                     Workspace* workspace = nullptr, ThreadPool* pool = nullptr);
+
+/// Multi-model sharing: when k candidate models forward the same activation
+/// batch, the im2col + panel pack of the input is identical for every model.
+/// These entry points let a caller pack each sample's column operand once
+/// (the same bytes conv2d_forward builds internally) and replay the per-model
+/// bias-seeded GEMMs against it, bit-identical to conv2d_forward. Callers
+/// must check reference_kernels_enabled() themselves — there is no naive
+/// fallback for the prepacked form.
+
+/// Floats needed per input sample for conv2d_pack_input's packed operand.
+std::size_t conv2d_packed_input_floats(const Conv2DShape& shape, std::size_t h,
+                                       std::size_t w);
+
+/// Packs every sample of x(b, ic, h, w): sample i's panels land at
+/// packed[i * conv2d_packed_input_floats(...)]. `workspace` holds the
+/// intermediate column buffer (per-thread arena when null) and is reset().
+void conv2d_pack_input(const Tensor& x, const Conv2DShape& shape,
+                       std::span<float> packed, Workspace* workspace = nullptr);
+
+/// conv2d_forward reading the operand packed by conv2d_pack_input; h/w are
+/// the spatial dims of the original input. Output bits match conv2d_forward.
+void conv2d_forward_prepacked(std::span<const float> packed_x,
+                              std::size_t batch, std::size_t h, std::size_t w,
+                              const Tensor& weights, const Tensor& bias,
+                              const Conv2DShape& shape, Tensor& y,
+                              ThreadPool* pool = nullptr);
 
 /// Backward pass: given dy, accumulates into dw / dbias (must be
 /// pre-zeroed by the caller or accumulated deliberately) and overwrites dx.

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/async_simulation.hpp"
@@ -174,6 +176,251 @@ TEST(EvalEngine, CacheOffStillPoolsAndMatches) {
   EXPECT_EQ(engine.models_created(), 1u);
 }
 
+TEST(EvalEngine, BatchSizeContractEnforcedAtConstruction) {
+  // The comment-only contract ("must stay equal to data::evaluate's
+  // default") is now a hard constructor check: a divergent batch size would
+  // silently give cached and direct evaluations different batch boundaries.
+  EvalEngineConfig divergent;
+  divergent.batch_size = data::kEvalBatchSize / 2;
+  EXPECT_THROW(EvalEngine(mlp_factory(), divergent), std::invalid_argument);
+  divergent.batch_size = 0;
+  EXPECT_THROW(EvalEngine(mlp_factory(), divergent), std::invalid_argument);
+
+  EvalEngineConfig pinned;
+  pinned.batch_size = data::kEvalBatchSize;
+  EXPECT_NO_THROW(EvalEngine(mlp_factory(), pinned));
+}
+
+TEST(EvalEngine, ParamsKeyCachesPayloadHash) {
+  const ParamsKey a{{1, 2, 3}};
+  const ParamsKey b{{1, 2, 3}};
+  const ParamsKey c{{3, 2, 1}};
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());  // order-sensitive, like the identity
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(ParamsKey::single(7).payloads(), (std::vector<tangle::PayloadId>{7}));
+}
+
+// An image split matching small_factory()'s 8x8 single-channel input, so
+// evaluate_many exercises the fused conv path (shared input packs).
+data::DataSplit make_image_split(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  data::DataSplit split;
+  split.features = nn::Tensor({n, 1, 8, 8});
+  for (auto& v : split.features.values()) {
+    v = static_cast<float>(rng.normal());
+  }
+  split.labels.resize(n);
+  for (auto& l : split.labels) {
+    l = static_cast<std::int32_t>(rng.uniform_index(3));
+  }
+  return split;
+}
+
+nn::ModelFactory conv_factory() {
+  return [] {
+    nn::ImageCnnConfig config;
+    config.image_size = 8;
+    config.num_classes = 3;
+    config.conv1_channels = 2;
+    config.conv2_channels = 4;
+    config.hidden = 8;
+    return nn::make_image_cnn(config);
+  };
+}
+
+TEST(EvalEngine, EvaluateManyMatchesPerModelEvaluateBitExactly) {
+  // CNN stack: the group runs the fused pass (shared conv input packs,
+  // grid on a kernel pool). 150 samples -> batches of 64/64/22, so the
+  // per-model reduction crosses a partial tail batch.
+  const nn::ModelFactory factory = conv_factory();
+  EvalEngine engine(factory);
+  const data::DataSplit split = make_image_split(150, 71);
+  const auto prepared = engine.prepare(split);
+
+  ModelStore store;
+  std::vector<tangle::PayloadId> ids;
+  for (std::size_t i = 0; i < 5; ++i) {
+    ids.push_back(store.add(random_params(factory, 300 + i)).id);
+  }
+
+  std::vector<data::EvalResult> expected;
+  for (const tangle::PayloadId id : ids) {
+    nn::Model model = factory();
+    model.set_parameters(store.get(id));
+    expected.push_back(data::evaluate(model, split));
+  }
+
+  ThreadPool pool(3);
+  const std::vector<EvalOutcome> outcomes =
+      engine.payloads_eval_many(store, ids, *prepared, &pool);
+  ASSERT_EQ(outcomes.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_FALSE(outcomes[i].cache_hit);
+    EXPECT_EQ(outcomes[i].result.loss, expected[i].loss);  // bitwise
+    EXPECT_EQ(outcomes[i].result.accuracy, expected[i].accuracy);
+    EXPECT_EQ(outcomes[i].result.samples, expected[i].samples);
+  }
+
+  // A repeat group resolves entirely from the cache.
+  const std::vector<EvalOutcome> again =
+      engine.payloads_eval_many(store, ids, *prepared, &pool);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_TRUE(again[i].cache_hit);
+    EXPECT_EQ(again[i].result.loss, expected[i].loss);
+  }
+}
+
+TEST(EvalEngine, EvaluateManyNonConvStackMatchesBitExactly) {
+  // MLP stack: no conv to fuse, so the group takes the per-model grid
+  // fallback — results must still match the standalone path bitwise.
+  EvalEngine engine(mlp_factory());
+  const data::DataSplit split = make_split(150, 72);
+  const auto prepared = engine.prepare(split);
+  ModelStore store;
+  std::vector<tangle::PayloadId> ids;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ids.push_back(store.add(random_params(mlp_factory(), 400 + i)).id);
+  }
+  const std::vector<EvalOutcome> outcomes =
+      engine.payloads_eval_many(store, ids, *prepared, nullptr);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    nn::Model model = mlp_factory()();
+    model.set_parameters(store.get(ids[i]));
+    const data::EvalResult direct = data::evaluate(model, split);
+    EXPECT_FALSE(outcomes[i].cache_hit);
+    EXPECT_EQ(outcomes[i].result.loss, direct.loss);
+    EXPECT_EQ(outcomes[i].result.accuracy, direct.accuracy);
+  }
+}
+
+TEST(EvalEngine, EvaluateManyCacheInterleavings) {
+  const nn::ModelFactory factory = conv_factory();
+  EvalEngine engine(factory);
+  const data::DataSplit split = make_image_split(90, 73);
+  const auto prepared = engine.prepare(split);
+  ModelStore store;
+  const auto warm = store.add(random_params(factory, 500));
+  const auto cold = store.add(random_params(factory, 501));
+  const nn::ParamVector fresh = random_params(factory, 502);
+
+  engine.payload_eval(store, warm.id, *prepared);  // pre-warm one key
+  ASSERT_EQ(engine.cached_results(), 1u);
+
+  // Group mixing: a cached key, a missing key, an in-group duplicate of
+  // that missing key, and a keyless request.
+  const std::vector<EvalRequest> requests{
+      EvalRequest{store.get(warm.id), ParamsKey::single(warm.id)},
+      EvalRequest{store.get(cold.id), ParamsKey::single(cold.id)},
+      EvalRequest{store.get(cold.id), ParamsKey::single(cold.id)},
+      EvalRequest{fresh, std::nullopt},
+  };
+  const std::vector<EvalOutcome> outcomes =
+      engine.evaluate_many(requests, *prepared, nullptr);
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_TRUE(outcomes[0].cache_hit);
+  EXPECT_FALSE(outcomes[1].cache_hit);  // first occurrence pays the eval
+  EXPECT_TRUE(outcomes[2].cache_hit);   // duplicate resolves against it
+  EXPECT_FALSE(outcomes[3].cache_hit);  // keyless: always evaluated
+  EXPECT_EQ(outcomes[1].result.loss, outcomes[2].result.loss);
+
+  // Bit-exact against the standalone path for every distinct probe.
+  for (const auto& [params, expected_index] :
+       std::vector<std::pair<std::span<const float>, std::size_t>>{
+           {store.get(warm.id), 0}, {store.get(cold.id), 1}, {fresh, 3}}) {
+    nn::Model model = factory();
+    model.set_parameters(params);
+    const data::EvalResult direct = data::evaluate(model, split);
+    EXPECT_EQ(outcomes[expected_index].result.loss, direct.loss);
+    EXPECT_EQ(outcomes[expected_index].result.accuracy, direct.accuracy);
+  }
+
+  // The keyless result was not cached; the duplicate added one entry.
+  EXPECT_EQ(engine.cached_results(), 2u);
+}
+
+TEST(EvalEngine, EvaluateManyBatchedOffReplaysSerialPath) {
+  const nn::ModelFactory factory = conv_factory();
+  EvalEngineConfig off_config;
+  off_config.use_batched = false;
+  EvalEngine batched(factory);
+  EvalEngine serial(factory, off_config);
+  const data::DataSplit split = make_image_split(90, 74);
+  const auto prepared_batched = batched.prepare(split);
+  const auto prepared_serial = serial.prepare(split);
+
+  ModelStore store;
+  std::vector<tangle::PayloadId> ids;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ids.push_back(store.add(random_params(factory, 600 + i)).id);
+  }
+  ThreadPool pool(2);
+  const auto a = batched.payloads_eval_many(store, ids, *prepared_batched,
+                                            &pool);
+  const auto b = serial.payloads_eval_many(store, ids, *prepared_serial,
+                                           nullptr);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cache_hit, b[i].cache_hit);
+    EXPECT_EQ(a[i].result.loss, b[i].result.loss);  // bitwise
+    EXPECT_EQ(a[i].result.accuracy, b[i].result.accuracy);
+  }
+}
+
+// A forwarding backend that counts how many evaluations it served — enough
+// to prove the engine routes every miss through the configured backend.
+class CountingBackend final : public EvalBackend {
+ public:
+  explicit CountingBackend(EvalEngine& engine, std::size_t& calls)
+      : engine_(engine), calls_(calls) {}
+
+  data::EvalResult eval(std::span<const float> params,
+                        const BatchedSplit& batched, ThreadPool* pool) override {
+    (void)pool;
+    ++calls_;
+    EvalEngine::ModelLease lease = engine_.acquire();
+    lease.model().set_parameters(params);
+    return engine_.evaluate(lease.model(), batched);
+  }
+
+ private:
+  EvalEngine& engine_;
+  std::size_t& calls_;
+};
+
+TEST(EvalEngine, BackendSelectableViaConfig) {
+  std::size_t calls = 0;
+  EvalEngineConfig config;
+  config.backend_factory =
+      [&calls](EvalEngine& engine) -> std::unique_ptr<EvalBackend> {
+    return std::make_unique<CountingBackend>(engine, calls);
+  };
+  EvalEngine engine(mlp_factory(), config);
+  ModelStore store;
+  const auto added = store.add(random_params(mlp_factory(), 700));
+  const data::DataSplit split = make_split(40, 75);
+  const auto prepared = engine.prepare(split);
+
+  const EvalOutcome miss = engine.payload_eval(store, added.id, *prepared);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_FALSE(miss.cache_hit);
+  // Base-class eval_many loops eval(): three misses = three backend calls.
+  std::vector<tangle::PayloadId> ids;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ids.push_back(store.add(random_params(mlp_factory(), 710 + i)).id);
+  }
+  engine.payloads_eval_many(store, ids, *prepared, nullptr);
+  EXPECT_EQ(calls, 4u);
+  // A hit skips the backend entirely.
+  engine.payload_eval(store, added.id, *prepared);
+  EXPECT_EQ(calls, 4u);
+  // Results still match the direct computation bitwise.
+  nn::Model model = mlp_factory()();
+  model.set_parameters(store.get(added.id));
+  EXPECT_EQ(miss.result.loss, data::evaluate(model, split).loss);
+}
+
 TEST(EvalEngine, PoolReusesInstancesUnderParallelFor) {
   // With the cache off every probe runs a forward pass and needs a model.
   // parallel_for runs at most (workers + caller) lanes, so the pool must
@@ -327,6 +574,90 @@ TEST(EvalEngine, SimulationByteIdenticalCacheOnVsOff) {
   // The cached run actually cached (the off run kept the map empty).
   EXPECT_GT(a.eval_engine().cached_results(), 0u);
   EXPECT_EQ(b.eval_engine().cached_results(), 0u);
+}
+
+TEST(EvalEngine, SimulationByteIdenticalEvalBatchOnVsOffAcrossKernelThreads) {
+  // Batched candidate probes must not perturb a single bit of the run,
+  // regardless of the kernel pool driving the fused grid. Every
+  // (eval_batch, kernel_threads) combination is compared against the
+  // batch-on single-threaded baseline.
+  const auto dataset = small_dataset();
+  SimulationConfig base;
+  base.rounds = 4;
+  base.nodes_per_round = 4;
+  base.eval_every = 2;
+  base.eval_nodes_fraction = 0.5;
+  base.node.training.epochs = 1;
+  base.node.training.sgd.learning_rate = 0.05;
+  base.node.num_tips = 2;
+  base.node.tip_sample_size = 4;
+  base.seed = 1;
+
+  std::vector<std::unique_ptr<TangleSimulation>> sims;
+  std::vector<RunResult> results;
+  for (const std::size_t kernel_threads : {1, 2, 4}) {
+    for (const bool eval_batch : {true, false}) {
+      SimulationConfig config = base;
+      config.kernel_threads = kernel_threads;
+      config.use_eval_batch = eval_batch;
+      sims.push_back(std::make_unique<TangleSimulation>(
+          dataset, small_factory(), config));
+      results.push_back(sims.back()->run());
+    }
+  }
+  for (std::size_t i = 1; i < sims.size(); ++i) {
+    expect_identical_runs(sims[0]->tangle(), sims[i]->tangle(), results[0],
+                          results[i]);
+  }
+}
+
+TEST(EvalEngine, AsyncSimulationByteIdenticalEvalBatchOnVsOff) {
+  const auto dataset = small_dataset();
+  AsyncSimulationConfig on;
+  on.duration_seconds = 30.0;
+  on.wake_rate_per_node = 0.3;
+  on.mean_training_seconds = 0.5;
+  on.network_delay_seconds = 0.5;
+  on.eval_every_seconds = 10.0;
+  on.eval_nodes_fraction = 0.5;
+  on.node.training.epochs = 1;
+  on.node.training.sgd.learning_rate = 0.05;
+  on.node.num_tips = 2;
+  on.node.tip_sample_size = 4;
+  on.seed = 7;
+  AsyncSimulationConfig off = on;
+  off.use_eval_batch = false;
+
+  AsyncTangleSimulation a(dataset, small_factory(), on);
+  AsyncTangleSimulation b(dataset, small_factory(), off);
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  expect_identical_runs(a.tangle(), b.tangle(), ra, rb);
+}
+
+TEST(EvalEngine, GossipSimulationByteIdenticalEvalBatchOnVsOff) {
+  const auto dataset = small_dataset();
+  GossipConfig on;
+  on.rounds = 8;
+  on.nodes_per_round = 4;
+  on.peers_per_node = 3;
+  on.gossip_exchanges = 2;
+  on.eval_every = 4;
+  on.eval_nodes_fraction = 0.5;
+  on.node.training.epochs = 1;
+  on.node.training.sgd.learning_rate = 0.05;
+  on.node.num_tips = 2;
+  on.node.tip_sample_size = 4;
+  on.node.reference.confidence.sample_rounds = 6;
+  on.seed = 7;
+  GossipConfig off = on;
+  off.use_eval_batch = false;
+
+  GossipSimulation a(dataset, small_factory(), on);
+  GossipSimulation b(dataset, small_factory(), off);
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  expect_identical_runs(a.tangle(), b.tangle(), ra, rb);
 }
 
 TEST(EvalEngine, SimulationByteIdenticalAcrossThreadCounts) {

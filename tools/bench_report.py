@@ -51,6 +51,9 @@ KEY_COUNTERS = (
     "eval.cache.miss",
     "eval.forwards",
     "eval.examples",
+    "eval.batched.groups",
+    "eval.batched.models",
+    "eval.batched.pack_reuses",
     "nn.gemm.flops",
     "nn.conv.flops",
     "train.batches",
