@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
       args.get_int("eval-batch", 1,
                    "batched multi-model candidate probes (0 = off; outputs "
                    "are byte-identical either way)") != 0;
+  const tangle::PayloadCodecConfig codec =
+      bench::parse_payload_codec_flag(args);
   const std::string csv =
       args.get_string("csv", "ablation_async.csv", "output CSV path");
   bench::BenchRun bench_run("ablation_async", args);
@@ -38,6 +40,7 @@ int main(int argc, char** argv) {
   bench_run.config("nodes", nodes);
   bench_run.config("eval_cache", eval_cache);
   bench_run.config("eval_batch", eval_batch);
+  bench_run.config("payload_codec", tangle::codec_spec_string(codec));
   bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
@@ -65,6 +68,7 @@ int main(int argc, char** argv) {
   round_config.seed = seed;
   round_config.use_eval_cache = eval_cache;
   round_config.use_eval_batch = eval_batch;
+  round_config.codec = codec;
   round_config.timeline = bench_run.timeline();
   const core::RunResult round_run = [&] {
     auto timer = bench_run.phase("round-based");
@@ -116,6 +120,7 @@ int main(int argc, char** argv) {
     config.seed = seed;
     config.use_eval_cache = eval_cache;
     config.use_eval_batch = eval_batch;
+    config.codec = codec;
     config.timeline = bench_run.timeline();
     if (config.timeline != nullptr) config.timeline->begin_run(variant.name);
 

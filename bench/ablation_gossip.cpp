@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
       args.get_int("eval-batch", 1,
                    "batched multi-model candidate probes (0 = off; outputs "
                    "are byte-identical either way)") != 0;
+  const tangle::PayloadCodecConfig codec =
+      bench::parse_payload_codec_flag(args);
   const std::string csv =
       args.get_string("csv", "ablation_gossip.csv", "output CSV path");
   bench::BenchRun bench_run("ablation_gossip", args);
@@ -37,6 +39,7 @@ int main(int argc, char** argv) {
   bench_run.config("nodes", nodes);
   bench_run.config("eval_cache", eval_cache);
   bench_run.config("eval_batch", eval_batch);
+  bench_run.config("payload_codec", tangle::codec_spec_string(codec));
   bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
@@ -65,6 +68,7 @@ int main(int argc, char** argv) {
   reference_config.seed = seed;
   reference_config.use_eval_cache = eval_cache;
   reference_config.use_eval_batch = eval_batch;
+  reference_config.codec = codec;
   reference_config.timeline = bench_run.timeline();
   const core::RunResult reference = [&] {
     auto timer = bench_run.phase("full-replication");
@@ -108,6 +112,7 @@ int main(int argc, char** argv) {
     config.seed = seed;
     config.use_eval_cache = eval_cache;
     config.use_eval_batch = eval_batch;
+    config.codec = codec;
     config.timeline = bench_run.timeline();
     if (config.timeline != nullptr) config.timeline->begin_run(variant.name);
 

@@ -4,6 +4,11 @@
 //   * 8-bit quantized payloads (4x smaller on the wire),
 //   * DP-sanitized updates at two noise levels (Gaussian mechanism),
 // and reports per-transaction payload bytes next to final accuracy.
+//
+// --frontier 1 additionally sweeps payload-codec stage combinations
+// (tangle/payload_codec.hpp) and writes an accuracy-vs-bytes frontier CSV:
+// one row per codec spec with the measured encoded/raw ledger bytes and the
+// run's final accuracy (see EXPERIMENTS.md).
 #include "bench_common.hpp"
 
 #include "nn/privacy.hpp"
@@ -21,6 +26,19 @@ int main(int argc, char** argv) {
       args.get_int("seed", 42, "master random seed"));
   const auto threads = static_cast<std::size_t>(
       args.get_int("threads", 1, "worker threads"));
+  const bool eval_batch =
+      args.get_int("eval-batch", 1,
+                   "batched multi-model candidate probes (0 = off; outputs "
+                   "are byte-identical either way)") != 0;
+  const tangle::PayloadCodecConfig codec =
+      bench::parse_payload_codec_flag(args);
+  const bool frontier =
+      args.get_int("frontier", 0,
+                   "1 = also sweep codec stage combinations and write the "
+                   "accuracy-vs-bytes frontier CSV") != 0;
+  const std::string frontier_csv = args.get_string(
+      "frontier-csv", "ablation_privacy_comm_frontier.csv",
+      "frontier sweep output CSV path (--frontier 1 only)");
   const std::string csv =
       args.get_string("csv", "ablation_privacy_comm.csv", "output CSV path");
   bench::BenchRun bench_run("ablation_privacy_comm", args);
@@ -32,6 +50,9 @@ int main(int argc, char** argv) {
   bench_run.config("users", users);
   bench_run.config("nodes", nodes);
   bench_run.config("threads", threads);
+  bench_run.config("eval_batch", eval_batch);
+  bench_run.config("payload_codec", tangle::codec_spec_string(codec));
+  bench_run.config("frontier", frontier);
   bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
@@ -80,6 +101,8 @@ int main(int argc, char** argv) {
     config.node.dp.noise_multiplier = variant.noise;
     config.seed = seed;
     config.threads = threads;
+    config.use_eval_batch = eval_batch;
+    config.codec = codec;
     config.timeline = bench_run.timeline();
 
     const core::RunResult run = [&] {
@@ -104,6 +127,66 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   bench::print_series(std::cout, runs);
   bench::write_series_csv(csv, runs);
+
+  if (frontier) {
+    // Accuracy-vs-bytes frontier: the same full-precision run under one
+    // codec spec per row, from lossless to aggressively lossy. Ledger
+    // byte counts come from per-run deltas of the global codec counters.
+    const std::vector<std::string> specs = {
+        "off",
+        "delta,entropy,chunk",
+        "delta,quantize,entropy",
+        "topk:0.1,entropy",
+        "topk:0.05,quantize,entropy",
+        "topk:0.01,quantize,entropy",
+    };
+    obs::Counter& raw_counter =
+        obs::MetricsRegistry::global().counter("ledger.codec.raw_bytes");
+    obs::Counter& encoded_counter =
+        obs::MetricsRegistry::global().counter("ledger.codec.encoded_bytes");
+    CsvWriter frontier_out(frontier_csv,
+                           {"codec", "raw_bytes", "encoded_bytes", "ratio",
+                            "final_accuracy", "rounds_to_half"});
+    std::cout << "\nfrontier sweep (" << specs.size() << " codec specs)\n";
+    for (const std::string& spec : specs) {
+      core::SimulationConfig config;
+      config.rounds = rounds;
+      config.nodes_per_round = nodes;
+      config.eval_every = 4;
+      config.eval_nodes_fraction = 0.3;
+      config.node.training = bench::femnist_training();
+      config.node.num_tips = 3;
+      config.node.tip_sample_size = 6;
+      config.node.reference.num_reference_models = 10;
+      config.seed = seed;
+      config.threads = threads;
+      config.use_eval_batch = eval_batch;
+      config.codec = tangle::parse_codec_spec(spec);
+
+      const std::uint64_t raw_before = raw_counter.value();
+      const std::uint64_t encoded_before = encoded_counter.value();
+      const core::RunResult run = [&] {
+        auto timer = bench_run.phase("frontier " + spec);
+        return core::run_tangle_learning(dataset, factory, config, spec);
+      }();
+      const std::uint64_t raw = raw_counter.value() - raw_before;
+      const std::uint64_t encoded = encoded_counter.value() - encoded_before;
+      const double ratio =
+          raw > 0 ? static_cast<double>(encoded) / static_cast<double>(raw)
+                  : 1.0;
+      const std::int64_t reach = run.rounds_to_accuracy(0.5);
+      frontier_out.add_row(
+          {spec, std::to_string(raw), std::to_string(encoded),
+           format_fixed(ratio, 4), format_fixed(run.final_accuracy(), 5),
+           std::to_string(reach)});
+      std::cout << "... " << spec << ": ratio=" << format_fixed(ratio, 3)
+                << " accuracy=" << format_fixed(run.final_accuracy(), 3)
+                << " (" << format_fixed(bench_run.seconds(), 0)
+                << "s elapsed)\n";
+    }
+    std::cout << "(frontier written to " << frontier_csv << ")\n";
+  }
+
   bench_run.finish(std::cout);
   return 0;
 }

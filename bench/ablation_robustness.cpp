@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
       args.get_int("eval-batch", 1,
                    "batched multi-model candidate probes (0 = off; outputs "
                    "are byte-identical either way)") != 0;
+  const tangle::PayloadCodecConfig codec =
+      bench::parse_payload_codec_flag(args);
   const std::string csv =
       args.get_string("csv", "ablation_robustness.csv", "output CSV path");
   bench::BenchRun bench_run("ablation_robustness", args);
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   bench_run.config("threads", threads);
   bench_run.config("eval_cache", eval_cache);
   bench_run.config("eval_batch", eval_batch);
+  bench_run.config("payload_codec", tangle::codec_spec_string(codec));
   bench_run.config("csv", csv);
 
   bench::FemnistScale scale;
@@ -90,6 +93,7 @@ int main(int argc, char** argv) {
       config.threads = threads;
       config.use_eval_cache = eval_cache;
       config.use_eval_batch = eval_batch;
+      config.codec = codec;
       config.timeline = bench_run.timeline();
 
       const core::RunResult run = [&] {

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -24,8 +25,28 @@
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
+#include "tangle/payload_codec.hpp"
 
 namespace tanglefl::bench {
+
+/// Registers the shared --payload-codec flag and parses it. Spec grammar
+/// (tangle/payload_codec.hpp): "off" (the default — byte-identical to
+/// pre-codec harness output), "default" (the lossless
+/// delta+entropy+chunk preset), or a comma list of
+/// delta,topk[:fraction],quantize,entropy,chunk. A malformed spec is
+/// reported through args.should_exit() with the offending token named.
+inline tangle::PayloadCodecConfig parse_payload_codec_flag(ArgParser& args) {
+  const std::string spec = args.get_string(
+      "payload-codec", "off",
+      "payload codec stages: off | default | comma list of "
+      "delta,topk[:fraction],quantize,entropy,chunk");
+  try {
+    return tangle::parse_codec_spec(spec);
+  } catch (const std::invalid_argument& error) {
+    args.set_error(std::string("--payload-codec: ") + error.what());
+    return {};
+  }
+}
 
 /// Default FEMNIST-like scale: the paper's 3500 writers / 62 classes /
 /// 28x28 images shrink to 60 / 10 / 12 so a full convergence sweep runs in

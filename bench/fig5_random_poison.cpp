@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
       args.get_int("eval-batch", 1,
                    "batched multi-model candidate probes (0 = off; outputs "
                    "are byte-identical either way)") != 0;
+  const tangle::PayloadCodecConfig codec =
+      bench::parse_payload_codec_flag(args);
   const bool biased_walk =
       args.get_int("biased-walk", 0,
                    "walk-loss-biased tip selection (the Section III "
@@ -52,6 +54,7 @@ int main(int argc, char** argv) {
   bench_run.config("threads", threads);
   bench_run.config("eval_cache", eval_cache);
   bench_run.config("eval_batch", eval_batch);
+  bench_run.config("payload_codec", tangle::codec_spec_string(codec));
   bench_run.config("biased_walk", biased_walk);
   bench_run.config("fractions", fractions_list);
   bench_run.config("csv", csv);
@@ -96,6 +99,7 @@ int main(int argc, char** argv) {
     config.threads = threads;
     config.use_eval_cache = eval_cache;
     config.use_eval_batch = eval_batch;
+    config.codec = codec;
     config.timeline = bench_run.timeline();
 
     core::RunResult run = [&] {

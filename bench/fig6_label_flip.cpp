@@ -36,6 +36,8 @@ int main(int argc, char** argv) {
       args.get_int("eval-batch", 1,
                    "batched multi-model candidate probes (0 = off; outputs "
                    "are byte-identical either way)") != 0;
+  const tangle::PayloadCodecConfig codec =
+      bench::parse_payload_codec_flag(args);
   const std::string fractions_list =
       args.get_string("fractions", "0.1,0.2,0.3", "malicious fractions");
   const std::string csv =
@@ -54,6 +56,7 @@ int main(int argc, char** argv) {
   bench_run.config("threads", threads);
   bench_run.config("eval_cache", eval_cache);
   bench_run.config("eval_batch", eval_batch);
+  bench_run.config("payload_codec", tangle::codec_spec_string(codec));
   bench_run.config("fractions", fractions_list);
   bench_run.config("csv", csv);
 
@@ -94,6 +97,7 @@ int main(int argc, char** argv) {
     config.threads = threads;
     config.use_eval_cache = eval_cache;
     config.use_eval_batch = eval_batch;
+    config.codec = codec;
     config.timeline = bench_run.timeline();
 
     core::RunResult run = [&] {

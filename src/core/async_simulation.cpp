@@ -76,6 +76,10 @@ AsyncTangleSimulation::AsyncTangleSimulation(
       master_rng_(config.seed),
       store_(),
       tangle_([&] {
+        // Chunking must be configured before the first payload lands.
+        if (config.codec.chunk) {
+          store_.configure_chunking(tangle::ChunkParams{});
+        }
         const auto added = store_.add(make_genesis_params(
             factory_, master_rng_.split(streams::kGenesis)));
         return tangle::Tangle(added.id, added.hash);
@@ -124,7 +128,7 @@ RoundRecord AsyncTangleSimulation::evaluate(double now) {
           : tangle_.view().tips().size();
   record.published_cumulative = stats_.published;
   record.suppressed_cumulative = stats_.abstained + stats_.lost;
-  record.ledger_bytes = store_.total_parameters() * sizeof(float);
+  record.ledger_bytes = store_.live_bytes();
   async_ledger_bytes_gauge().set(static_cast<double>(record.ledger_bytes));
 
   // Milestone pruning at the evaluation instant. Every later wake trains on
@@ -238,7 +242,8 @@ RunResult AsyncTangleSimulation::run() {
         ++stats_.lost;
         async_lost_counter().increment();
       } else {
-        const auto added = store_.add(top.request.params);
+        const auto added = store_.add(payload_pipeline_.process(
+            top.request.params, top.request.parents, tangle_, store_));
         tangle_.add_transaction(top.request.parents, added.id, added.hash,
                                 to_micros(top.time),
                                 top.malicious ? "malicious" : "async-node");

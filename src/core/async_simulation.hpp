@@ -59,6 +59,10 @@ struct AsyncSimulationConfig {
   // either way.
   bool use_eval_batch = true;
 
+  // Publish-path payload codec (tangle/payload_codec.hpp); all stages
+  // default off, keeping outputs byte-identical to prior versions.
+  tangle::PayloadCodecConfig codec;
+
   // Milestone pruning, checked at evaluation instants and clamped so the
   // frontier never outruns the slowest in-flight view horizon (see
   // tangle/milestones.hpp). Requires use_view_cache; disabled (the
@@ -120,6 +124,8 @@ class AsyncTangleSimulation {
   // Shared loss-probe engine (cache + model pool + pre-batched splits).
   EvalEngine eval_engine_;
   tangle::MilestoneTracker pruner_;
+  // Publish-path codec driver; pass-through when no wire stage is on.
+  tangle::PayloadPipeline payload_pipeline_{config_.codec};
 
   // Timeline mode only; null otherwise.
   std::unique_ptr<tangle::HealthTracker> health_;

@@ -72,6 +72,10 @@ GossipSimulation::GossipSimulation(const data::FederatedDataset& dataset,
       master_rng_(config.seed),
       store_(),
       tangle_([&] {
+        // Chunking must be configured before the first payload lands.
+        if (config.codec.chunk) {
+          store_.configure_chunking(tangle::ChunkParams{});
+        }
         const auto added = store_.add(make_genesis_params(
             factory_, master_rng_.split(streams::kGenesis)));
         return tangle::Tangle(added.id, added.hash);
@@ -188,7 +192,8 @@ std::size_t GossipSimulation::run_round(std::uint64_t round) {
       gossip_suppressed_counter().increment();
       continue;
     }
-    const auto added = store_.add(std::move(publish->params));
+    const auto added = store_.add(payload_pipeline_.process(
+        std::move(publish->params), publish->parents, tangle_, store_));
     const tangle::TxIndex index = tangle_.add_transaction(
         publish->parents, added.id, added.hash, round,
         dataset_->user(user_index).user_id);
@@ -218,8 +223,7 @@ std::size_t GossipSimulation::run_round(std::uint64_t round) {
                     required_tips);
   }
 
-  gossip_ledger_bytes_gauge().set(
-      static_cast<double>(store_.total_parameters() * sizeof(float)));
+  gossip_ledger_bytes_gauge().set(static_cast<double>(store_.live_bytes()));
   if (config_.timeline != nullptr) {
     // Health over the global ledger (union of replicas): the true DAG.
     gossip_coverage_gauge().set(mean_coverage());
@@ -245,7 +249,7 @@ RoundRecord GossipSimulation::evaluate(std::uint64_t round) {
   record.publish_rate = mean_coverage();  // repurposed: replica coverage
   record.published_cumulative = stats_.published;
   record.suppressed_cumulative = stats_.suppressed;
-  record.ledger_bytes = store_.total_parameters() * sizeof(float);
+  record.ledger_bytes = store_.live_bytes();
   gossip_ledger_bytes_gauge().set(static_cast<double>(record.ledger_bytes));
 
   const std::size_t num_users = dataset_->num_users();

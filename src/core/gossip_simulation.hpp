@@ -28,6 +28,7 @@
 #include "obs/timeline.hpp"
 #include "tangle/health.hpp"
 #include "tangle/milestones.hpp"
+#include "tangle/payload_codec.hpp"
 
 namespace tanglefl::core {
 
@@ -59,6 +60,10 @@ struct GossipConfig {
   // off replays the exact per-probe serial path. Outputs are byte-identical
   // either way.
   bool use_eval_batch = true;
+
+  // Publish-path payload codec (tangle/payload_codec.hpp); all stages
+  // default off, keeping outputs byte-identical to prior versions.
+  tangle::PayloadCodecConfig codec;
 
   // Milestone pruning. The milestone must be covered by the union of all
   // replica tip sets, so a replica lagging at the genesis blocks any
@@ -130,6 +135,8 @@ class GossipSimulation {
   // Shared loss-probe engine (cache + model pool + pre-batched splits).
   EvalEngine eval_engine_;
   tangle::MilestoneTracker pruner_;
+  // Publish-path codec driver; pass-through when no wire stage is on.
+  tangle::PayloadPipeline payload_pipeline_{config_.codec};
 
   // Timeline mode only; null otherwise.
   std::unique_ptr<tangle::HealthTracker> health_;

@@ -68,6 +68,10 @@ TangleSimulation::TangleSimulation(const data::FederatedDataset& dataset,
       master_rng_(config.seed),
       store_(),
       tangle_([&] {
+        // Chunking must be configured before the first payload lands.
+        if (config.codec.chunk) {
+          store_.configure_chunking(tangle::ChunkParams{});
+        }
         // Genesis payload: a randomly initialized model every node starts
         // from.
         const auto added = store_.add(make_genesis_params(
@@ -217,7 +221,9 @@ std::size_t TangleSimulation::run_round(std::uint64_t round) {
     auto& result = results[slot];
     if (!result.malicious) ++honest_participants;
     if (!result.publish) continue;
-    const auto added = store_.add(std::move(result.publish->params));
+    const auto added = store_.add(payload_pipeline_.process(
+        std::move(result.publish->params), result.publish->parents, tangle_,
+        store_));
     tangle_.add_transaction(result.publish->parents, added.id, added.hash,
                             round,
                             result.malicious
@@ -248,8 +254,7 @@ std::size_t TangleSimulation::run_round(std::uint64_t round) {
     const tangle::TangleView full = tangle_.view();
     pruner_.advance(tangle_, store_, *view_cache_.get(full, &pool_));
   }
-  ledger_bytes_gauge().set(
-      static_cast<double>(store_.total_parameters() * sizeof(float)));
+  ledger_bytes_gauge().set(static_cast<double>(store_.live_bytes()));
   if (config_.timeline != nullptr) probe_health(round);
   return published;
 }
@@ -282,7 +287,7 @@ RoundRecord TangleSimulation::evaluate(std::uint64_t round) {
   record.publish_rate = last_publish_rate_;
   record.published_cumulative = published_total_;
   record.suppressed_cumulative = suppressed_total_;
-  record.ledger_bytes = store_.total_parameters() * sizeof(float);
+  record.ledger_bytes = store_.live_bytes();
   ledger_bytes_gauge().set(static_cast<double>(record.ledger_bytes));
 
   // Pool the test data of a random eval_nodes_fraction of all users.

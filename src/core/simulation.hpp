@@ -18,6 +18,7 @@
 #include "support/thread_pool.hpp"
 #include "tangle/health.hpp"
 #include "tangle/milestones.hpp"
+#include "tangle/payload_codec.hpp"
 #include "tangle/view_cache.hpp"
 
 namespace tanglefl::core {
@@ -80,6 +81,14 @@ struct SimulationConfig {
   // number of active nodes per round". When true, confidence sampling
   // rounds are forced to nodes_per_round (health probes included).
   bool auto_confidence_samples = true;
+
+  // Publish-path payload codec (see tangle/payload_codec.hpp): every
+  // published payload is replaced by its canonical decoded form
+  // decode(encode(payload)), so the ledger holds exactly the bytes any
+  // decoder reconstructs, and codec.chunk switches the ModelStore to
+  // content-defined chunk dedup. Every stage defaults off; with only
+  // lossless stages on, outputs stay byte-identical to codec-off runs.
+  tangle::PayloadCodecConfig codec;
 
   // Milestone pruning (see tangle/milestones.hpp): at every prune.interval
   // round barriers the engine looks for a transaction approved by every
@@ -156,6 +165,8 @@ class TangleSimulation {
   // validation splits. All node steps and round-record evals go through it.
   EvalEngine eval_engine_;
   tangle::MilestoneTracker pruner_;
+  // Publish-path codec driver; pass-through when no wire stage is on.
+  tangle::PayloadPipeline payload_pipeline_{config_.codec};
 
   // Timeline mode (config_.timeline != nullptr) only; null otherwise so
   // the default path pays nothing for the probes.

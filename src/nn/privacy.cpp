@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace tanglefl::nn {
 
@@ -35,7 +36,15 @@ QuantizedParams quantize_params(std::span<const float> params) {
   QuantizedParams quantized;
   quantized.values.resize(params.size());
   float max_abs = 0.0f;
-  for (const float v : params) max_abs = std::max(max_abs, std::abs(v));
+  for (const float v : params) {
+    // A non-finite parameter would poison the scale (inf) or every output
+    // (NaN); a payload containing one is malformed, not quantizable.
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument(
+          "quantize_params: non-finite parameter value");
+    }
+    max_abs = std::max(max_abs, std::abs(v));
+  }
   quantized.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
   const float inv_scale = 1.0f / quantized.scale;
   for (std::size_t i = 0; i < params.size(); ++i) {

@@ -43,6 +43,8 @@ struct QuantizedParams {
   }
 };
 
+/// Throws std::invalid_argument if any parameter is non-finite (±inf/NaN
+/// would poison the scale or every quantized value).
 QuantizedParams quantize_params(std::span<const float> params);
 ParamVector dequantize_params(const QuantizedParams& quantized);
 

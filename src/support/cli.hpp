@@ -34,6 +34,10 @@ class ArgParser {
   /// Non-empty when an unknown flag or a malformed value was seen.
   const std::string& error() const noexcept { return error_; }
 
+  /// Records a flag-validation error discovered by the caller (reported via
+  /// error() / should_exit() exactly like built-in parse failures).
+  void set_error(const std::string& message) { error_ = message; }
+
   /// Usage text listing all flags registered so far.
   std::string help_text() const;
 

@@ -8,7 +8,8 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x544e474c;  // "TNGL"
 constexpr std::uint32_t kVersionLegacy = 1;   // flag-less store, no frontier
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersionFlat = 2;     // liveness flags, no chunk table
+constexpr std::uint32_t kVersion = 3;         // chunked-store capable
 
 /// Satellite integrity check: every transaction's payload handle must
 /// resolve in the restored store and hash to what the header recorded.
@@ -67,7 +68,8 @@ Tangle load_ledger(const std::string& path, ModelStore& store,
     throw SerializeError("load_ledger: bad magic");
   }
   const std::uint32_t version = reader.read_u32();
-  if (version != kVersionLegacy && version != kVersion) {
+  if (version != kVersionLegacy && version != kVersionFlat &&
+      version != kVersion) {
     throw SerializeError("load_ledger: unsupported version");
   }
   Tangle tangle = Tangle::deserialize(reader);
@@ -75,7 +77,11 @@ Tangle load_ledger(const std::string& path, ModelStore& store,
   if (version == kVersionLegacy) {
     ModelStore::deserialize_into_v1(reader, store);
   } else {
-    ModelStore::deserialize_into(reader, store);
+    if (version == kVersionFlat) {
+      ModelStore::deserialize_into_v2(reader, store);
+    } else {
+      ModelStore::deserialize_into(reader, store);
+    }
     const std::uint64_t floor = reader.read_u64();
     if (floor >= tangle.size()) {
       throw SerializeError("load_ledger: prune frontier outside the ledger");

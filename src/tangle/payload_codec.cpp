@@ -1,0 +1,758 @@
+#include "tangle/payload_codec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/privacy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/serialize.hpp"
+
+namespace tanglefl::tangle {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Adaptive binary range coder (the LZMA bit coder: 11-bit probabilities,
+// shift-4 adaptation, carry propagation through a pending-0xFF cache). All
+// state is integer, so encode/decode are bit-deterministic everywhere.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kTopValue = 1u << 24;
+constexpr std::uint16_t kProbInit = 1024;  // p(bit=0) = 1/2 in 11-bit scale
+constexpr unsigned kAdaptShift = 4;
+
+class RangeEncoder {
+ public:
+  explicit RangeEncoder(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void encode_bit(std::uint16_t& prob, unsigned bit) {
+    const std::uint32_t bound = (range_ >> 11) * prob;
+    if (bit == 0) {
+      range_ = bound;
+      prob = static_cast<std::uint16_t>(prob + ((2048 - prob) >> kAdaptShift));
+    } else {
+      low_ += bound;
+      range_ -= bound;
+      prob = static_cast<std::uint16_t>(prob - (prob >> kAdaptShift));
+    }
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      shift_low();
+    }
+  }
+
+  /// Flushes the remaining low bits; call exactly once.
+  void finish() {
+    for (int i = 0; i < 5; ++i) shift_low();
+  }
+
+ private:
+  void shift_low() {
+    if (static_cast<std::uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+      std::uint8_t carry_byte = cache_;
+      do {
+        out_.push_back(
+            static_cast<std::uint8_t>(carry_byte + (low_ >> 32)));
+        carry_byte = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<std::uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ & 0x00FFFFFFu) << 8;
+  }
+
+  std::vector<std::uint8_t>& out_;
+  std::uint64_t low_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint8_t cache_ = 0;
+  std::uint64_t cache_size_ = 1;
+};
+
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(std::span<const std::uint8_t> data) : data_(data) {
+    // The encoder's cache discipline emits one leading zero byte; consume
+    // it together with the first four payload bytes.
+    for (int i = 0; i < 5; ++i) code_ = (code_ << 8) | next_byte();
+  }
+
+  unsigned decode_bit(std::uint16_t& prob) {
+    const std::uint32_t bound = (range_ >> 11) * prob;
+    unsigned bit = 0;
+    if (code_ < bound) {
+      range_ = bound;
+      prob = static_cast<std::uint16_t>(prob + ((2048 - prob) >> kAdaptShift));
+    } else {
+      code_ -= bound;
+      range_ -= bound;
+      prob = static_cast<std::uint16_t>(prob - (prob >> kAdaptShift));
+      bit = 1;
+    }
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | next_byte();
+    }
+    return bit;
+  }
+
+ private:
+  /// Reads past the buffer as zero: the encoder's flush already emitted
+  /// every byte the decoder can need, and the output length is validated
+  /// by the caller against the recorded plain size.
+  std::uint8_t next_byte() {
+    return offset_ < data_.size() ? data_[offset_++] : 0;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+  std::uint32_t code_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+};
+
+/// One adaptive byte model: a 256-node binary tree of bit probabilities
+/// (node index doubles as the bits-so-far context within the byte).
+struct ByteTree {
+  std::array<std::uint16_t, 256> probs;
+  ByteTree() { probs.fill(kProbInit); }
+};
+
+void encode_byte(RangeEncoder& encoder, ByteTree& tree, std::uint8_t byte) {
+  unsigned context = 1;
+  for (int bit_index = 7; bit_index >= 0; --bit_index) {
+    const unsigned bit = (byte >> bit_index) & 1u;
+    encoder.encode_bit(tree.probs[context], bit);
+    context = (context << 1) | bit;
+  }
+}
+
+std::uint8_t decode_byte(RangeDecoder& decoder, ByteTree& tree) {
+  unsigned context = 1;
+  for (int bit_index = 0; bit_index < 8; ++bit_index) {
+    context = (context << 1) | decoder.decode_bit(tree.probs[context]);
+  }
+  return static_cast<std::uint8_t>(context & 0xFFu);
+}
+
+/// Order-0 adaptive compression with positional contexts: byte i is coded
+/// under model i % period (period 1 for opaque stage bytes).
+std::vector<std::uint8_t> entropy_compress(std::span<const std::uint8_t> data,
+                                           std::size_t period) {
+  std::vector<ByteTree> trees(period);
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size() / 2 + 16);
+  RangeEncoder encoder(out);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    encode_byte(encoder, trees[i % period], data[i]);
+  }
+  encoder.finish();
+  return out;
+}
+
+std::vector<std::uint8_t> entropy_decompress(
+    std::span<const std::uint8_t> data, std::size_t plain_size,
+    std::size_t period) {
+  std::vector<ByteTree> trees(period);
+  std::vector<std::uint8_t> out(plain_size);
+  RangeDecoder decoder(data);
+  for (std::size_t i = 0; i < plain_size; ++i) {
+    out[i] = decode_byte(decoder, trees[i % period]);
+  }
+  return out;
+}
+
+std::uint32_t float_bits(float value) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+float bits_float(std::uint32_t bits) {
+  float value = 0.0f;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+// Dense-word model: each 32-bit word is coded most-significant byte first
+// under the context (byte position, magnitude class of the bytes already
+// coded for this word: all 0x00 / all 0xFF / mixed, and the magnitude
+// band of the base value at this position). A small XOR delta is a run of
+// 0x00 bytes followed by a short significant tail (and a raw negative
+// float a 0xFF-led run), so the within-word class gives the lower-byte
+// models sharply different distributions per update magnitude, while the
+// base band separates per-layer scales: big weights see big absolute
+// updates, biases and small weights see small ones.
+constexpr std::size_t kWordClasses = 3;      // zeros, ffs, mixed
+constexpr std::size_t kExponentBuckets = 4;  // base |value| magnitude bands
+
+std::size_t word_context(std::size_t byte_position, std::size_t cls,
+                         std::size_t exponent_bucket) {
+  return (byte_position * kWordClasses + cls) * kExponentBuckets +
+         exponent_bucket;
+}
+
+std::size_t next_class(std::size_t cls, std::uint8_t byte, bool first) {
+  if (first) {
+    if (byte == 0x00) return 0;
+    return byte == 0xFF ? 1 : 2;
+  }
+  if (cls == 0 && byte == 0x00) return 0;
+  if (cls == 1 && byte == 0xFF) return 1;
+  return 2;
+}
+
+/// Magnitude band of the base value at a word's position — side
+/// information both sides share, so it costs no bits. The bands track the
+/// typical per-layer weight scales of the models in nn/model_zoo.hpp.
+std::size_t exponent_bucket_of(float base_value) {
+  const std::uint32_t exponent = (float_bits(base_value) >> 23) & 0xFFu;
+  if (exponent >= 127) return 3;  // |w| >= 1
+  if (exponent >= 124) return 2;  // [0.125, 1)
+  if (exponent >= 120) return 1;  // [~0.008, 0.125)
+  return 0;                       // smaller (or zero)
+}
+
+std::vector<std::uint8_t> entropy_compress_words(
+    std::span<const std::uint8_t> data, std::span<const float> base) {
+  std::vector<ByteTree> trees(4 * kWordClasses * kExponentBuckets);
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size() / 2 + 16);
+  RangeEncoder encoder(out);
+  for (std::size_t word = 0; word + 4 <= data.size(); word += 4) {
+    const std::size_t bucket =
+        base.empty() ? 0 : exponent_bucket_of(base[word / 4]);
+    std::size_t cls = 0;
+    for (std::size_t b = 4; b-- > 0;) {
+      const std::uint8_t byte = data[word + b];
+      encode_byte(encoder, trees[word_context(b, cls, bucket)], byte);
+      cls = next_class(cls, byte, /*first=*/b == 3);
+    }
+  }
+  encoder.finish();
+  return out;
+}
+
+std::vector<std::uint8_t> entropy_decompress_words(
+    std::span<const std::uint8_t> data, std::size_t plain_size,
+    std::span<const float> base) {
+  std::vector<ByteTree> trees(4 * kWordClasses * kExponentBuckets);
+  std::vector<std::uint8_t> out(plain_size);
+  RangeDecoder decoder(data);
+  for (std::size_t word = 0; word + 4 <= plain_size; word += 4) {
+    const std::size_t bucket =
+        base.empty() ? 0 : exponent_bucket_of(base[word / 4]);
+    std::size_t cls = 0;
+    for (std::size_t b = 4; b-- > 0;) {
+      const std::uint8_t byte =
+          decode_byte(decoder, trees[word_context(b, cls, bucket)]);
+      out[word + b] = byte;
+      cls = next_class(cls, byte, /*first=*/b == 3);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Stage plumbing
+// ---------------------------------------------------------------------------
+
+constexpr std::uint8_t kFlagDeltaUsed = 1u << 0;
+constexpr std::uint8_t kFlagTopk = 1u << 1;
+constexpr std::uint8_t kFlagQuantize = 1u << 2;
+constexpr std::uint8_t kFlagEntropy = 1u << 3;
+// Dense lossless best-of: the raw word stream compressed better than the
+// XOR-delta stream, so the decoder must skip the base entirely.
+constexpr std::uint8_t kFlagDenseRaw = 1u << 4;
+
+void write_varint(ByteWriter& writer, std::uint64_t value) {
+  while (value >= 0x80) {
+    writer.write_u8(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  writer.write_u8(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t read_varint(ByteReader& reader) {
+  std::uint64_t value = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = reader.read_u8();
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+  }
+  throw SerializeError("payload codec: varint overruns 64 bits");
+}
+
+/// Little-endian byte image of the dense lossless words: XOR'd float bit
+/// patterns against the base (sign, exponent, and agreeing high-mantissa
+/// bits of a nearby float cancel to zero — exactly the structure the
+/// word-context entropy model keys on), or the raw bit patterns when no
+/// base applies. Bit operations only, so the path is lossless for every
+/// pattern including NaNs.
+std::vector<std::uint8_t> dense_words(std::span<const float> params,
+                                      std::span<const float> base) {
+  std::vector<std::uint8_t> bytes(params.size() * sizeof(std::uint32_t));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::uint32_t word = float_bits(params[i]);
+    if (!base.empty()) word ^= float_bits(base[i]);
+    std::memcpy(bytes.data() + i * 4, &word, 4);
+  }
+  return bytes;
+}
+
+struct TopkSelection {
+  std::vector<std::uint64_t> indices;  // ascending
+  std::vector<float> values;           // final published values, parallel
+};
+
+/// Keeps the (at most) k coordinates whose final value differs most from
+/// the base, skipping exact matches entirely: the decoder reproduces those
+/// from the base, so re-encoding a decoded payload keeps its exact value.
+TopkSelection select_topk(std::span<const float> params,
+                          std::span<const float> base, double fraction) {
+  const std::size_t n = params.size();
+  const auto want = static_cast<std::size_t>(
+      std::max<long>(1, std::lround(fraction * static_cast<double>(n))));
+  std::vector<std::uint64_t> candidates;
+  candidates.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float based = base.empty() ? 0.0f : base[i];
+    if (params[i] != based) candidates.push_back(i);
+  }
+  const std::size_t keep = std::min(want, candidates.size());
+  const auto magnitude = [&](std::uint64_t i) {
+    const float based = base.empty() ? 0.0f : base[i];
+    return std::abs(static_cast<double>(params[i]) - based);
+  };
+  std::partial_sort(candidates.begin(), candidates.begin() + keep,
+                    candidates.end(), [&](std::uint64_t a, std::uint64_t b) {
+                      const double ma = magnitude(a);
+                      const double mb = magnitude(b);
+                      if (ma != mb) return ma > mb;
+                      return a < b;  // deterministic tie-break
+                    });
+  candidates.resize(keep);
+  std::sort(candidates.begin(), candidates.end());
+  TopkSelection selection;
+  selection.indices = std::move(candidates);
+  selection.values.reserve(keep);
+  for (const std::uint64_t i : selection.indices) {
+    selection.values.push_back(params[i]);
+  }
+  return selection;
+}
+
+obs::Counter& raw_bytes_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("ledger.codec.raw_bytes");
+  return counter;
+}
+
+obs::Counter& encoded_bytes_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("ledger.codec.encoded_bytes");
+  return counter;
+}
+
+obs::Counter& payloads_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("ledger.codec.payloads");
+  return counter;
+}
+
+obs::Histogram& encode_timing() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "ledger.codec.encode_us", obs::BucketLayout::exponential(1.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
+}
+
+obs::Histogram& decode_timing() {
+  static obs::Histogram& hist = obs::MetricsRegistry::global().histogram(
+      "ledger.codec.decode_us", obs::BucketLayout::exponential(1.0, 4.0, 12),
+      /*timing=*/true);
+  return hist;
+}
+
+}  // namespace
+
+EncodedPayload PayloadCodec::encode(std::span<const float> params,
+                                    std::span<const float> base) const {
+  obs::TraceScope span("ledger.codec.encode", &encode_timing());
+  if (!base.empty() && base.size() != params.size()) {
+    throw std::invalid_argument(
+        "PayloadCodec::encode: base/params size mismatch");
+  }
+  const std::span<const float> delta_base =
+      config_.delta ? base : std::span<const float>{};
+  std::uint8_t flags = 0;
+  if (!delta_base.empty()) flags |= kFlagDeltaUsed;
+  if (config_.topk) flags |= kFlagTopk;
+  if (config_.quantize) flags |= kFlagQuantize;
+  if (config_.entropy) flags |= kFlagEntropy;
+
+  // Serialize the stage representation into `inner` (or, for the dense
+  // lossless form, straight into `dense_plain`).
+  ByteWriter inner;
+  std::vector<std::uint8_t> dense_plain;
+  if (config_.topk) {
+    const TopkSelection selection =
+        select_topk(params, delta_base, config_.topk_fraction);
+    write_varint(inner, selection.indices.size());
+    std::uint64_t previous = 0;
+    for (std::size_t i = 0; i < selection.indices.size(); ++i) {
+      write_varint(inner, selection.indices[i] - previous);
+      previous = selection.indices[i];
+    }
+    if (config_.quantize) {
+      const nn::QuantizedParams quantized =
+          nn::quantize_params(selection.values);
+      inner.write_f32(quantized.scale);
+      for (const std::int8_t v : quantized.values) {
+        inner.write_u8(static_cast<std::uint8_t>(v));
+      }
+    } else {
+      for (const float v : selection.values) inner.write_f32(v);
+    }
+  } else if (config_.quantize) {
+    // Dense 8-bit quantization of the update (or of the raw payload when
+    // no base resolved).
+    nn::ParamVector update(params.begin(), params.end());
+    if (!delta_base.empty()) {
+      for (std::size_t i = 0; i < update.size(); ++i) {
+        update[i] -= delta_base[i];
+      }
+    }
+    const nn::QuantizedParams quantized = nn::quantize_params(update);
+    inner.write_f32(quantized.scale);
+    for (const std::int8_t v : quantized.values) {
+      inner.write_u8(static_cast<std::uint8_t>(v));
+    }
+  } else {
+    // Dense lossless words; under entropy coding, pick the smaller of the
+    // XOR-delta and raw streams (a payload unrelated to its parents — e.g.
+    // a poisoned publish — compresses better without the base).
+    std::vector<std::uint8_t> words = dense_words(params, delta_base);
+    if (config_.entropy && !delta_base.empty()) {
+      std::vector<std::uint8_t> raw_words =
+          dense_words(params, std::span<const float>{});
+      const std::vector<std::uint8_t> delta_coded =
+          entropy_compress_words(words, delta_base);
+      const std::vector<std::uint8_t> raw_coded =
+          entropy_compress_words(raw_words, std::span<const float>{});
+      EncodedPayload encoded;
+      encoded.param_count = params.size();
+      ByteWriter out;
+      if (raw_coded.size() < delta_coded.size()) {
+        flags = static_cast<std::uint8_t>((flags & ~kFlagDeltaUsed) |
+                                          kFlagDenseRaw);
+        out.write_u8(flags);
+        write_varint(out, params.size());
+        write_varint(out, raw_words.size());
+        out.write_bytes(raw_coded);
+      } else {
+        out.write_u8(flags);
+        write_varint(out, params.size());
+        write_varint(out, words.size());
+        out.write_bytes(delta_coded);
+      }
+      encoded.bytes = out.take();
+      raw_bytes_counter().add(encoded.raw_bytes());
+      encoded_bytes_counter().add(encoded.bytes.size());
+      payloads_counter().increment();
+      return encoded;
+    }
+    dense_plain = std::move(words);
+  }
+
+  EncodedPayload encoded;
+  encoded.param_count = params.size();
+  ByteWriter out;
+  out.write_u8(flags);
+  write_varint(out, params.size());
+  const bool dense = !dense_plain.empty();
+  const std::vector<std::uint8_t> plain =
+      dense ? std::move(dense_plain) : inner.take();
+  if (config_.entropy) {
+    write_varint(out, plain.size());
+    out.write_bytes(dense ? entropy_compress_words(plain, delta_base)
+                          : entropy_compress(plain, 1));
+  } else {
+    out.write_bytes(plain);
+  }
+  encoded.bytes = out.take();
+  raw_bytes_counter().add(encoded.raw_bytes());
+  encoded_bytes_counter().add(encoded.bytes.size());
+  payloads_counter().increment();
+  return encoded;
+}
+
+nn::ParamVector PayloadCodec::decode(const EncodedPayload& encoded,
+                                     std::span<const float> base) const {
+  obs::TraceScope span("ledger.codec.decode", &decode_timing());
+  ByteReader reader(encoded.bytes);
+  const std::uint8_t flags = reader.read_u8();
+  const std::uint64_t count = read_varint(reader);
+  if (count != encoded.param_count) {
+    throw SerializeError("payload codec: parameter count mismatch");
+  }
+  const bool delta_used = (flags & kFlagDeltaUsed) != 0;
+  if (delta_used && base.size() != count) {
+    throw SerializeError("payload codec: delta base unavailable or mismatched");
+  }
+
+  std::vector<std::uint8_t> plain;
+  if ((flags & kFlagEntropy) != 0) {
+    const std::uint64_t plain_size = read_varint(reader);
+    const bool dense = (flags & (kFlagTopk | kFlagQuantize)) == 0;
+    const std::span<const float> dense_base =
+        delta_used ? base : std::span<const float>{};
+    plain = dense ? entropy_decompress_words(reader.read_bytes(), plain_size,
+                                             dense_base)
+                  : entropy_decompress(reader.read_bytes(), plain_size, 1);
+  } else {
+    plain = reader.read_bytes();
+  }
+  if (!reader.exhausted()) {
+    throw SerializeError("payload codec: trailing bytes");
+  }
+  ByteReader body(plain);
+
+  nn::ParamVector out(count);
+  if ((flags & kFlagTopk) != 0) {
+    // Start from the base (or zero) and scatter the kept final values.
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = delta_used ? base[i] : 0.0f;
+    }
+    const std::uint64_t keep = read_varint(body);
+    if (keep > count) {
+      throw SerializeError("payload codec: topk count exceeds payload");
+    }
+    std::vector<std::uint64_t> indices(keep);
+    std::uint64_t previous = 0;
+    for (std::uint64_t i = 0; i < keep; ++i) {
+      previous += read_varint(body);
+      if (previous >= count) {
+        throw SerializeError("payload codec: topk index out of range");
+      }
+      indices[i] = previous;
+    }
+    if ((flags & kFlagQuantize) != 0) {
+      nn::QuantizedParams quantized;
+      quantized.scale = body.read_f32();
+      quantized.values.resize(keep);
+      for (std::uint64_t i = 0; i < keep; ++i) {
+        quantized.values[i] = static_cast<std::int8_t>(body.read_u8());
+      }
+      const nn::ParamVector values = nn::dequantize_params(quantized);
+      for (std::uint64_t i = 0; i < keep; ++i) out[indices[i]] = values[i];
+    } else {
+      for (std::uint64_t i = 0; i < keep; ++i) {
+        out[indices[i]] = body.read_f32();
+      }
+    }
+  } else if ((flags & kFlagQuantize) != 0) {
+    nn::QuantizedParams quantized;
+    quantized.scale = body.read_f32();
+    quantized.values.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      quantized.values[i] = static_cast<std::int8_t>(body.read_u8());
+    }
+    const nn::ParamVector update = nn::dequantize_params(quantized);
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = delta_used ? base[i] + update[i] : update[i];
+    }
+  } else {
+    if (plain.size() != count * sizeof(std::uint32_t)) {
+      throw SerializeError("payload codec: dense payload size mismatch");
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint32_t word = 0;
+      std::memcpy(&word, plain.data() + i * 4, 4);
+      if (delta_used) word ^= float_bits(base[i]);
+      out[i] = bits_float(word);
+    }
+    return out;
+  }
+  if (!body.exhausted()) {
+    throw SerializeError("payload codec: trailing stage bytes");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+PayloadCodecConfig parse_codec_spec(const std::string& spec) {
+  PayloadCodecConfig config;
+  if (spec.empty() || spec == "off") return config;
+  if (spec == "default") {
+    config.delta = true;
+    config.entropy = true;
+    config.chunk = true;
+    return config;
+  }
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    std::string token = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (token == "delta") {
+      config.delta = true;
+    } else if (token == "quantize") {
+      config.quantize = true;
+    } else if (token == "entropy") {
+      config.entropy = true;
+    } else if (token == "chunk") {
+      config.chunk = true;
+    } else if (token.rfind("topk", 0) == 0) {
+      config.topk = true;
+      if (token.size() > 4) {
+        if (token[4] != ':') {
+          throw std::invalid_argument("payload codec spec: bad stage '" +
+                                      token + "'");
+        }
+        try {
+          config.topk_fraction = std::stod(token.substr(5));
+        } catch (const std::exception&) {
+          throw std::invalid_argument(
+              "payload codec spec: bad topk fraction in '" + token + "'");
+        }
+        if (!(config.topk_fraction > 0.0) || config.topk_fraction > 1.0) {
+          throw std::invalid_argument(
+              "payload codec spec: topk fraction must be in (0, 1]");
+        }
+      }
+    } else {
+      throw std::invalid_argument("payload codec spec: unknown stage '" +
+                                  token + "'");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return config;
+}
+
+std::string codec_spec_string(const PayloadCodecConfig& config) {
+  if (!config.enabled()) return "off";
+  std::string spec;
+  const auto append = [&](const std::string& stage) {
+    if (!spec.empty()) spec += ',';
+    spec += stage;
+  };
+  if (config.delta) append("delta");
+  if (config.topk) {
+    append("topk:" + std::to_string(config.topk_fraction));
+  }
+  if (config.quantize) append("quantize");
+  if (config.entropy) append("entropy");
+  if (config.chunk) append("chunk");
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Content-defined chunking
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Deterministic pseudo-random gear table (splitmix64 on a fixed seed):
+/// the rolling hash is h = (h << 1) + gear[byte], an implicit 64-byte
+/// sliding window.
+const std::array<std::uint64_t, 256>& gear_table() {
+  static const std::array<std::uint64_t, 256> table = [] {
+    std::array<std::uint64_t, 256> t{};
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    for (auto& entry : t) {
+      state += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      entry = z ^ (z >> 31);
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::vector<std::size_t> chunk_boundaries(std::span<const std::uint8_t> data,
+                                          const ChunkParams& params) {
+  const auto& gear = gear_table();
+  const std::uint64_t mask = (std::uint64_t{1} << params.mask_bits) - 1;
+  const std::size_t min_bytes = std::max<std::size_t>(1, params.min_bytes);
+  const std::size_t max_bytes = std::max(params.max_bytes, min_bytes);
+  std::vector<std::size_t> ends;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t limit = std::min(pos + max_bytes, data.size());
+    std::size_t cut = limit;
+    std::uint64_t hash = 0;
+    std::size_t i = pos;
+    for (const std::size_t skip = std::min(pos + min_bytes, data.size());
+         i < skip; ++i) {
+      hash = (hash << 1) + gear[data[i]];
+    }
+    for (; i < limit; ++i) {
+      hash = (hash << 1) + gear[data[i]];
+      if ((hash & mask) == 0) {
+        cut = i + 1;
+        break;
+      }
+    }
+    ends.push_back(cut);
+    pos = cut;
+  }
+  return ends;
+}
+
+// ---------------------------------------------------------------------------
+// Publish-path pipeline
+// ---------------------------------------------------------------------------
+
+nn::ParamVector PayloadPipeline::process(nn::ParamVector params,
+                                         std::span<const TxIndex> parents,
+                                         const Tangle& tangle,
+                                         const ModelStore& store) const {
+  if (!active()) return params;
+  nn::ParamVector base;
+  if (codec_.config().delta) {
+    // The delta predictor is the average of the approved parents' payloads
+    // (duplicates included) — exactly the base an honest node trained
+    // from, and recomputable by any decoder from the transaction header.
+    // A released (pruned) parent payload downgrades to "no base".
+    std::vector<const nn::ParamVector*> parent_params;
+    parent_params.reserve(parents.size());
+    bool resolvable = !parents.empty();
+    for (const TxIndex parent : parents) {
+      const PayloadId payload = tangle.transaction(parent).payload;
+      if (store.is_released(payload)) {
+        resolvable = false;
+        break;
+      }
+      const nn::ParamVector& value = store.get(payload);
+      if (value.size() != params.size()) {
+        resolvable = false;
+        break;
+      }
+      parent_params.push_back(&value);
+    }
+    if (resolvable) base = nn::average_params(parent_params);
+  }
+  const EncodedPayload encoded = codec_.encode(params, base);
+  nn::ParamVector decoded = codec_.decode(encoded, base);
+  if (!codec_.config().lossy() &&
+      !std::equal(decoded.begin(), decoded.end(), params.begin(), params.end(),
+                  [](float a, float b) {
+                    return float_bits(a) == float_bits(b);
+                  })) {
+    throw std::logic_error(
+        "PayloadPipeline: lossless codec round trip is not bit-exact");
+  }
+  return decoded;
+}
+
+}  // namespace tanglefl::tangle

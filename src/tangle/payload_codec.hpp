@@ -1,0 +1,143 @@
+// Pluggable payload codec for the publish path (the paper's Section V names
+// model compression as the key future-work item; DAG-AFL attacks the same
+// DAG-FL communication-efficiency problem).
+//
+// A payload travels the wire as a pipeline of independently toggleable
+// stages:
+//
+//   * delta     — predict the payload from the average of its approved
+//                 parents' payloads (the exact base an honest node trained
+//                 from, recomputable by any decoder that can resolve the
+//                 approved transaction ids). Lossless: the dense form works
+//                 on XOR'd float bit patterns, never on rounded arithmetic.
+//   * topk      — magnitude sparsification of the update: keep the k
+//                 coordinates that moved furthest from the base, packed as
+//                 gap-coded indices plus their final values. Lossy.
+//   * quantize  — 8-bit symmetric quantization (the nn/privacy.hpp
+//                 quantizer promoted into a codec stage). Lossy.
+//   * entropy   — adaptive binary range coder (LZMA-style bit model) over
+//                 the serialized stage output, with byte-plane contexts for
+//                 dense float words. Lossless.
+//
+// The *published* payload is always decode(encode(params)): with only
+// lossless stages on, that is bitwise `params`; with lossy stages on, the
+// canonical decoded form is what lands in the ModelStore, so tip selection,
+// eval-engine content keys, and confidence math operate on exactly the
+// bytes any decoder would reconstruct. encode/decode are pure
+// integer-deterministic functions — results never depend on thread counts.
+//
+// Chunk-level dedup (the `chunk` toggle) lives in ModelStore: payload bytes
+// are split at content-defined boundaries (gear rolling hash) and stored in
+// a SHA-256-keyed refcounted chunk table, so near-identical payloads share
+// storage beyond whole-payload dedup. chunk_boundaries() below is the
+// shared cutter.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/params.hpp"
+#include "tangle/model_store.hpp"
+#include "tangle/tangle.hpp"
+
+namespace tanglefl::tangle {
+
+struct PayloadCodecConfig {
+  bool delta = false;
+  bool topk = false;
+  // Fraction of coordinates kept by the topk stage (of the full parameter
+  // count, at least one).
+  double topk_fraction = 0.01;
+  bool quantize = false;
+  bool entropy = false;
+  // ModelStore content-defined chunk dedup (storage tier, not a wire
+  // stage; see ModelStore::configure_chunking).
+  bool chunk = false;
+
+  /// Any wire stage on (the chunk toggle alone does not change payloads).
+  bool any_stage() const noexcept {
+    return delta || topk || quantize || entropy;
+  }
+  bool lossy() const noexcept { return topk || quantize; }
+  bool enabled() const noexcept { return any_stage() || chunk; }
+};
+
+/// Parses a --payload-codec spec: "off", "default" (the lossless
+/// delta+entropy+chunk preset), or a comma list of stage names among
+/// {delta, topk[:fraction], quantize, entropy, chunk}. Throws
+/// std::invalid_argument on unknown stages or malformed fractions.
+PayloadCodecConfig parse_codec_spec(const std::string& spec);
+
+/// Canonical spec string for manifests ("off" when no toggle is set).
+std::string codec_spec_string(const PayloadCodecConfig& config);
+
+/// One encoded payload. The byte stream is self-describing up to the
+/// decoder knowing the same base the encoder used (resolved via the
+/// approved-transaction ids carried by the transaction header).
+struct EncodedPayload {
+  std::vector<std::uint8_t> bytes;
+  std::size_t param_count = 0;
+
+  std::size_t raw_bytes() const noexcept {
+    return param_count * sizeof(float);
+  }
+};
+
+class PayloadCodec {
+ public:
+  explicit PayloadCodec(PayloadCodecConfig config) : config_(config) {}
+
+  const PayloadCodecConfig& config() const noexcept { return config_; }
+
+  /// Encodes `params`. `base` is the delta predictor (the parent-payload
+  /// average); pass an empty span when no base is resolvable — the delta
+  /// stage then encodes against zero. A non-empty base must match
+  /// `params.size()`.
+  EncodedPayload encode(std::span<const float> params,
+                        std::span<const float> base) const;
+
+  /// Exact inverse of encode() given the same base. Bit-deterministic:
+  /// equal inputs give equal outputs on every platform and thread count.
+  nn::ParamVector decode(const EncodedPayload& encoded,
+                         std::span<const float> base) const;
+
+ private:
+  PayloadCodecConfig config_;
+};
+
+/// Content-defined chunk boundaries over `data` (gear rolling hash): a cut
+/// lands where the hash masks to zero, clamped to [min_bytes, max_bytes].
+/// Returns the exclusive end offset of every chunk (last entry ==
+/// data.size(); empty input yields no chunks). Purely content-driven, so an
+/// unchanged region of bytes produces the same chunks whatever surrounds it.
+/// ChunkParams itself lives in tangle/model_store.hpp (the consumer).
+std::vector<std::size_t> chunk_boundaries(std::span<const std::uint8_t> data,
+                                          const ChunkParams& params);
+
+/// Publish-path driver shared by the three engines: resolves the delta base
+/// from the approved parents (average of their payloads — exactly the base
+/// an honest node trained from), encodes, records the
+/// ledger.codec.{raw_bytes,encoded_bytes} counters and encode/decode
+/// timings, and returns the canonical decoded payload to store. With no
+/// wire stage configured this is a zero-cost pass-through.
+class PayloadPipeline {
+ public:
+  explicit PayloadPipeline(const PayloadCodecConfig& config)
+      : codec_(config) {}
+
+  bool active() const noexcept { return codec_.config().any_stage(); }
+
+  /// `parents` are the approved transaction indices (into `tangle`); any
+  /// released parent payload downgrades the delta base to "none" so decode
+  /// never depends on pruned history.
+  nn::ParamVector process(nn::ParamVector params,
+                          std::span<const TxIndex> parents,
+                          const Tangle& tangle, const ModelStore& store) const;
+
+ private:
+  PayloadCodec codec_;
+};
+
+}  // namespace tanglefl::tangle

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/node.hpp"
 #include "nn/model_zoo.hpp"
@@ -115,6 +116,52 @@ TEST(Quantize, IdempotentOnQuantizedValues) {
   for (std::size_t i = 0; i < once.size(); ++i) {
     EXPECT_NEAR(once[i], twice[i], 1e-6f);
   }
+}
+
+TEST(Quantize, AllZeroVectorUsesUnitScale) {
+  // max_abs == 0 must not divide by zero; the scale falls back to 1 and
+  // every value quantizes to exactly 0.
+  const ParamVector params(16, 0.0f);
+  const QuantizedParams quantized = quantize_params(params);
+  EXPECT_EQ(quantized.scale, 1.0f);
+  for (const std::int8_t v : quantized.values) EXPECT_EQ(v, 0);
+  EXPECT_EQ(dequantize_params(quantized), params);
+}
+
+TEST(Quantize, EmptyVector) {
+  const QuantizedParams quantized = quantize_params(ParamVector{});
+  EXPECT_TRUE(quantized.values.empty());
+  EXPECT_EQ(quantized.scale, 1.0f);
+  EXPECT_TRUE(dequantize_params(quantized).empty());
+}
+
+TEST(Quantize, SingleElementSaturatesGrid) {
+  const ParamVector params = {-2.5f};
+  const QuantizedParams quantized = quantize_params(params);
+  ASSERT_EQ(quantized.values.size(), 1u);
+  EXPECT_EQ(quantized.values[0], -127);
+  EXPECT_NEAR(dequantize_params(quantized)[0], -2.5f, 1e-6f);
+}
+
+TEST(Quantize, NonFiniteParametersThrow) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW((void)quantize_params(ParamVector{1.0f, inf}),
+               std::invalid_argument);
+  EXPECT_THROW((void)quantize_params(ParamVector{-inf}),
+               std::invalid_argument);
+  EXPECT_THROW((void)quantize_params(ParamVector{0.0f, nan, 2.0f}),
+               std::invalid_argument);
+}
+
+TEST(Quantize, GridValuesRoundTripExactly) {
+  // A vector whose entries already sit on the 8-bit grid (integers with
+  // max_abs 127 give scale exactly 1) survives quantization bit-exact.
+  const ParamVector params = {-127.0f, -64.0f, -1.0f, 0.0f,
+                              1.0f,    63.0f,  127.0f};
+  const QuantizedParams quantized = quantize_params(params);
+  EXPECT_EQ(quantized.scale, 1.0f);
+  EXPECT_EQ(dequantize_params(quantized), params);
 }
 
 // ----------------------------------------------- node integration

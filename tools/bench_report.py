@@ -64,6 +64,11 @@ KEY_COUNTERS = (
     "tangle.prune.milestones",
     "tangle.prune.payloads_released",
     "tangle.transactions.added",
+    "ledger.codec.payloads",
+    "ledger.codec.raw_bytes",
+    "ledger.codec.encoded_bytes",
+    "ledger.codec.chunks",
+    "ledger.codec.chunk_dedup_hits",
 )
 
 # Final-row timeline series summarizing DAG health at the end of a run.
